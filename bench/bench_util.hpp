@@ -1,0 +1,70 @@
+// Shared harness for the experiment binaries.
+//
+// Every table/figure binary follows the same recipe: build the app around a
+// workload, synthesize, elaborate, (optionally) perturb memory state, run,
+// verify, and collect cycles + component statistics. Results print through
+// util/Table so outputs are uniform and scrapable.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sls/synthesis.hpp"
+#include "sls/system.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::bench {
+
+struct RunResult {
+  Cycles cycles = 0;
+  bool verified = false;
+  std::map<std::string, double> stats;  // full registry snapshot
+  sls::SynthesisReport report;
+
+  double stat(const std::string& name) const {
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : it->second;
+  }
+};
+
+struct RunOptions {
+  sls::PlatformSpec platform = sls::zynq7020();
+  sls::ThreadKind kind = sls::ThreadKind::kHardware;
+  sls::Addressing addressing = sls::Addressing::kVirtual;
+  bool pinned_buffers = true;
+  /// Runs after setup, before the threads start (evictions, extra args...).
+  std::function<void(sls::System&)> pre_run;
+  Cycles max_cycles = 4'000'000'000ull;
+};
+
+/// Full trip: app -> image -> system -> run -> verify.
+inline RunResult run_workload(const workloads::Workload& wl, const RunOptions& opt = {}) {
+  auto app = workloads::single_thread_app(wl, opt.kind, opt.addressing, opt.pinned_buffers);
+  sls::SynthesisFlow flow(opt.platform);
+  const sls::SystemImage image = flow.synthesize(app);
+
+  sim::Simulator sim;
+  auto system = image.elaborate(sim);
+  wl.setup(*system);
+  if (opt.pre_run) opt.pre_run(*system);
+  system->start_all();
+
+  RunResult r;
+  r.cycles = system->run_to_completion(opt.max_cycles);
+  r.verified = wl.verify(*system);
+  if (!r.verified)
+    throw std::runtime_error("workload '" + wl.name + "' failed verification in a bench run");
+  r.stats = sim.stats().snapshot();
+  r.report = image.report();
+  return r;
+}
+
+/// Evicts every workload buffer so the run demand-faults its working set.
+inline void evict_all_buffers(sls::System& system) {
+  for (const auto& buf : system.image().app().buffers)
+    system.process().evict(system.buffer(buf.name), buf.bytes);
+}
+
+}  // namespace vmsls::bench

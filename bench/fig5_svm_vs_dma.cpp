@@ -1,0 +1,168 @@
+// Figure 5 — Virtual-memory hardware threads vs copy-based DMA offload.
+//
+// The paper's headline comparison, swept over working-set size:
+//
+//   streaming (saxpy, burst kernel): every byte is used exactly once, so
+//     the copy-based flow pays pin + copy-in(x,y) + copy-out(y) on top of
+//     the same compute; SVM touches user pages in place. Expected: SVM
+//     wins by a roughly constant factor (the copies), shrinking slightly
+//     as burst compute grows.
+//
+//   sparse (hash-join probe): the accelerator touches a few slots of a
+//     large table, but the copy-based flow must ship the WHOLE table.
+//     Expected: the SVM advantage grows with table size.
+//
+// A third column runs SVM cold (demand-faulting every page) — the honest
+// comparison when the data is not yet resident.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+using namespace vmsls;
+
+namespace {
+
+/// Runs a workload as a conventional copy-based offload: buffers are copied
+/// into pinned memory, the kernel runs with physical addressing, results
+/// are copied back. `in` names buffers copied in, `out` buffers copied
+/// back; `make_args` receives the pinned physical base per buffer.
+Cycles run_dma_offload(const workloads::Workload& wl, const std::vector<std::string>& in,
+                       const std::vector<std::string>& out,
+                       const std::function<std::vector<i64>(
+                           const std::map<std::string, PhysAddr>&)>& make_args) {
+  auto app = workloads::single_thread_app(wl, sls::ThreadKind::kHardware,
+                                          sls::Addressing::kPhysical);
+  sls::SynthesisOptions opts;
+  opts.include_dma = true;
+  sls::SynthesisFlow flow(sls::zynq7020(), opts);
+  const auto image = flow.synthesize(app);
+  sim::Simulator sim;
+  auto system = image.elaborate(sim);
+  wl.setup(*system);
+
+  // The workload pushed virtual-address args; the offload flow replaces
+  // them with pinned physical addresses.
+  auto& args = system->process().mailbox(system->image().app().mailbox_index("args"));
+  i64 drained = 0;
+  while (args.try_get(drained)) {
+  }
+
+  std::map<std::string, PhysAddr> pinned_base;
+  std::map<std::string, dma::PinnedBuffer> pinned;
+  for (const auto& buf : app.buffers) {
+    pinned[buf.name] = system->offload().alloc_pinned(buf.bytes);
+    pinned_base[buf.name] = pinned[buf.name].pa;
+  }
+
+  const Cycles t0 = sim.now();
+  // Copy-in phase (sequential, as one ioctl would drive it).
+  std::size_t next_in = 0;
+  bool in_done = in.empty();
+  std::function<void()> copy_next = [&] {
+    if (next_in >= in.size()) {
+      in_done = true;
+      return;
+    }
+    const std::string name = in[next_in++];
+    u64 bytes = 0;
+    for (const auto& buf : app.buffers)
+      if (buf.name == name) bytes = buf.bytes;
+    system->offload().copy_in(system->buffer(name), pinned[name], 0, bytes, copy_next);
+  };
+  copy_next();
+  while (!in_done)
+    if (!sim.step()) throw std::runtime_error("copy-in stalled");
+
+  for (i64 a : make_args(pinned_base)) args.put(a, [] {});
+  system->start_all();
+  system->run_to_completion();
+
+  // Copy-out phase.
+  std::size_t next_out = 0;
+  bool out_done = out.empty();
+  std::function<void()> copy_back = [&] {
+    if (next_out >= out.size()) {
+      out_done = true;
+      return;
+    }
+    const std::string name = out[next_out++];
+    u64 bytes = 0;
+    for (const auto& buf : app.buffers)
+      if (buf.name == name) bytes = buf.bytes;
+    system->offload().copy_out(pinned[name], 0, system->buffer(name), bytes, copy_back);
+  };
+  copy_back();
+  while (!out_done)
+    if (!sim.step()) throw std::runtime_error("copy-out stalled");
+
+  const Cycles total = sim.now() - t0;
+  if (!wl.verify(*system)) throw std::runtime_error("DMA offload verification failed");
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  {
+    Table table({"working set", "n", "SVM cycles", "SVM cold cycles", "DMA cycles",
+                 "DMA/SVM", "DMA/SVM cold"});
+    for (u64 n : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+      workloads::WorkloadParams p;
+      p.n = n;
+      p.tile = 256;
+      const auto wl = workloads::make_saxpy_burst(p);
+
+      const auto svm = bench::run_workload(wl);
+      bench::RunOptions cold;
+      cold.pinned_buffers = false;
+      cold.pre_run = bench::evict_all_buffers;
+      const auto svm_cold = bench::run_workload(wl, cold);
+
+      const Cycles dma = run_dma_offload(
+          wl, {"x", "y"}, {"y"}, [&](const std::map<std::string, PhysAddr>& base) {
+            return std::vector<i64>{static_cast<i64>(base.at("x")),
+                                    static_cast<i64>(base.at("y")), 7, static_cast<i64>(n)};
+          });
+
+      table.add_row({format_bytes(2 * n * 8), Table::num(n), Table::num(svm.cycles),
+                     Table::num(svm_cold.cycles), Table::num(dma),
+                     Table::num(static_cast<double>(dma) / static_cast<double>(svm.cycles), 2),
+                     Table::num(static_cast<double>(dma) / static_cast<double>(svm_cold.cycles),
+                                2)});
+    }
+    table.print(std::cout, "Figure 5a: streaming (saxpy) — SVM vs copy-based DMA offload");
+  }
+
+  {
+    // Fixed probe count against a growing table: the accelerator touches a
+    // bounded set of slots while the copy-based flow must ship everything.
+    constexpr u64 kProbes = 2048;
+    Table table({"table size", "probes", "SVM cycles", "DMA cycles", "DMA/SVM"});
+    for (u64 build : {1024u, 4096u, 16384u, 65536u}) {
+      workloads::WorkloadParams p;
+      p.n = kProbes;
+      p.aux = build;
+      const auto wl = workloads::make_hash_join(p);
+      const auto svm = bench::run_workload(wl);
+
+      u64 slots = 4;
+      while (slots < 4 * build) slots <<= 1;
+      const u64 mask = slots - 1;
+      const Cycles dma = run_dma_offload(
+          wl, {"table", "keys"}, {"out"}, [&](const std::map<std::string, PhysAddr>& base) {
+            return std::vector<i64>{static_cast<i64>(base.at("table")),
+                                    static_cast<i64>(base.at("keys")),
+                                    static_cast<i64>(base.at("out")),
+                                    static_cast<i64>(kProbes), static_cast<i64>(mask)};
+          });
+
+      table.add_row({format_bytes(slots * 16), Table::num(kProbes), Table::num(svm.cycles),
+                     Table::num(dma),
+                     Table::num(static_cast<double>(dma) / static_cast<double>(svm.cycles), 2)});
+    }
+    table.print(std::cout, "Figure 5b: sparse (hash-join probe) — SVM advantage grows with size");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Host-side microbenchmarks (google-benchmark).
+//
+// Not paper data: these measure the simulator substrate itself — event
+// queue throughput, TLB lookups, functional page-table walks, and IR
+// execution rate — to keep the experiment harness fast enough for the
+// sweeps above.
+
+#include <benchmark/benchmark.h>
+
+#include "hwt/builder.hpp"
+#include "hwt/engine.hpp"
+#include "mem/frames.hpp"
+#include "mem/pagetable.hpp"
+#include "mem/physmem.hpp"
+#include "mem/tlb.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vmsls;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<u64>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    u64 sink = 0;
+    for (u64 i = 0; i < n; ++i) sim.schedule_in(i % 97, [&sink] { ++sink; });
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  StatRegistry stats;
+  mem::TlbConfig cfg;
+  cfg.entries = 64;
+  cfg.ways = 4;
+  mem::Tlb tlb(cfg, stats, "t");
+  for (u64 v = 0; v < 64; ++v) tlb.insert(v, v, true);
+  u64 vpn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(vpn));
+    vpn = (vpn + 1) % 64;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_FunctionalPageWalk(benchmark::State& state) {
+  mem::PhysicalMemory pm(64 * MiB);
+  mem::FrameAllocator frames(0, (64 * MiB) / (4 * KiB), 4 * KiB);
+  mem::PageTable pt(pm, frames, mem::PageTableConfig{});
+  for (u64 p = 0; p < 256; ++p) pt.map(0x10000 + p * 4096, frames.alloc(), true);
+  Rng rng(3);
+  for (auto _ : state) {
+    const VirtAddr va = 0x10000 + rng.below(256) * 4096;
+    benchmark::DoNotOptimize(pt.lookup(va));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalPageWalk);
+
+void BM_EngineAluThroughput(benchmark::State& state) {
+  // Measure host ns per simulated IR instruction in a tight ALU loop.
+  hwt::KernelBuilder kb("alu");
+  kb.li(1, 0).li(2, 0).li(3, 1'000'000)
+      .label("loop")
+      .seq(4, 2, 3)
+      .bnez(4, "out")
+      .add(1, 1, 2)
+      .addi(2, 2, 1)
+      .jmp("loop")
+      .label("out")
+      .halt();
+  const hwt::Kernel kernel = kb.build();
+  for (auto _ : state) {
+    sim::Simulator sim;
+    hwt::Engine engine(sim, kernel, hwt::EngineConfig{}, "e");
+    bool done = false;
+    engine.start([&] { done = true; });
+    while (sim.step()) {
+    }
+    benchmark::DoNotOptimize(done);
+    state.counters["sim_instructions"] =
+        benchmark::Counter(static_cast<double>(engine.instructions_retired()),
+                           benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_EngineAluThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_PhysMemBlockCopy(benchmark::State& state) {
+  mem::PhysicalMemory pm(64 * MiB);
+  std::vector<u8> buf(64 * KiB, 0xa5);
+  for (auto _ : state) {
+    pm.write(1 * MiB, std::span<const u8>(buf.data(), buf.size()));
+    pm.read(1 * MiB, std::span<u8>(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 2 * 64 * KiB);
+}
+BENCHMARK(BM_PhysMemBlockCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

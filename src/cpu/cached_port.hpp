@@ -1,0 +1,40 @@
+// Software-thread memory port: cached, software-translated.
+//
+// The CPU's own MMU/TLB is not modeled cycle-by-cycle — its translation
+// cost is folded into the cache hit latencies, as is standard for
+// application-level CPU models. Touching an unmapped page maps it on demand
+// with zero extra cost (the software baseline is assumed resident, which
+// favors the baseline and keeps our speedup claims conservative).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hwt/ports.hpp"
+#include "mem/address_space.hpp"
+#include "mem/cache.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::cpu {
+
+class CachedMemPort final : public hwt::MemPort {
+ public:
+  CachedMemPort(sim::Simulator& sim, mem::AddressSpace& as, mem::CacheHierarchy& caches,
+                std::string name);
+
+  void read(VirtAddr va, u32 bytes, std::function<void(std::vector<u8>)> done) override;
+  void write(VirtAddr va, std::span<const u8> data, std::function<void()> done) override;
+
+ private:
+  struct Xfer;
+  void step(const std::shared_ptr<Xfer>& x);
+
+  sim::Simulator& sim_;
+  mem::AddressSpace& as_;
+  mem::CacheHierarchy& caches_;
+  std::string name_;
+  Counter& reads_;
+  Counter& writes_;
+};
+
+}  // namespace vmsls::cpu

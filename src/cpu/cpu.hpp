@@ -1,0 +1,29 @@
+// Host CPU configuration.
+//
+// Software baselines run the same kernel IR on an in-order applications
+// processor model: a faster clock domain, CPU-like op costs, and an L1/L2
+// cache hierarchy in front of the shared memory bus. Defaults approximate
+// a 667 MHz Cortex-A9-class core over a 200 MHz fabric.
+#pragma once
+
+#include "hwt/engine.hpp"
+#include "mem/cache.hpp"
+#include "sim/clock.hpp"
+
+namespace vmsls::cpu {
+
+struct CpuConfig {
+  sim::ClockDomain clock{10, 3};  // CPU runs 10/3 = 3.33x the fabric clock
+  hwt::CostModel cost = hwt::cpu_cost_model();
+  mem::CacheHierarchyConfig caches{};
+};
+
+/// Engine configuration for a software thread on this CPU.
+inline hwt::EngineConfig engine_config(const CpuConfig& cpu) {
+  hwt::EngineConfig cfg;
+  cfg.cost = cpu.cost;
+  cfg.clock = cpu.clock;
+  return cfg;
+}
+
+}  // namespace vmsls::cpu

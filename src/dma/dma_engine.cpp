@@ -1,0 +1,59 @@
+#include "dma/dma_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vmsls::dma {
+
+struct DmaEngine::Xfer {
+  PhysAddr src = 0;
+  PhysAddr dst = 0;
+  u64 bytes = 0;
+  u64 pos = 0;
+  std::function<void()> done;
+};
+
+DmaEngine::DmaEngine(sim::Simulator& sim, mem::MemoryBus& bus, mem::PhysicalMemory& pm,
+                     const DmaConfig& cfg, std::string name)
+    : sim_(sim),
+      bus_(bus),
+      pm_(pm),
+      cfg_(cfg),
+      name_(std::move(name)),
+      transfers_(sim.stats().counter(name_ + ".transfers")),
+      bytes_(sim.stats().counter(name_ + ".bytes")) {
+  require(cfg.chunk_bytes > 0, "DMA chunk size must be nonzero");
+}
+
+void DmaEngine::copy(PhysAddr src, PhysAddr dst, u64 bytes, std::function<void()> done) {
+  require(bytes > 0, "zero-byte DMA transfer");
+  transfers_.add();
+  bytes_.add(bytes);
+  auto x = std::make_shared<Xfer>();
+  x->src = src;
+  x->dst = dst;
+  x->bytes = bytes;
+  x->done = std::move(done);
+  sim_.schedule_in(cfg_.setup_latency, [this, x] { step(x); });
+}
+
+void DmaEngine::step(const std::shared_ptr<Xfer>& x) {
+  if (x->pos >= x->bytes) {
+    x->done();
+    return;
+  }
+  const u32 chunk = static_cast<u32>(std::min<u64>(cfg_.chunk_bytes, x->bytes - x->pos));
+  const PhysAddr src = x->src + x->pos;
+  const PhysAddr dst = x->dst + x->pos;
+  bus_.request(mem::BusRequest{src, chunk, false, [this, x, src, dst, chunk] {
+    bus_.request(mem::BusRequest{dst, chunk, true, [this, x, src, dst, chunk] {
+      std::vector<u8> tmp(chunk);
+      pm_.read(src, std::span<u8>(tmp.data(), tmp.size()));
+      pm_.write(dst, std::span<const u8>(tmp.data(), tmp.size()));
+      x->pos += chunk;
+      step(x);
+    }});
+  }});
+}
+
+}  // namespace vmsls::dma

@@ -1,0 +1,149 @@
+#include "dma/offload.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace vmsls::dma {
+
+OffloadDriver::OffloadDriver(sim::Simulator& sim, rt::OsModel& os, rt::Process& process,
+                             DmaEngine& dma, mem::MemoryBus& bus, mem::PhysicalMemory& pm,
+                             const OffloadConfig& cfg, std::string name)
+    : sim_(sim),
+      os_(os),
+      process_(process),
+      dma_(dma),
+      bus_(bus),
+      pm_(pm),
+      cfg_(cfg),
+      name_(std::move(name)),
+      copies_(sim.stats().counter(name_ + ".copies")),
+      bytes_copied_(sim.stats().counter(name_ + ".bytes")),
+      pages_pinned_(sim.stats().counter(name_ + ".pages_pinned")) {}
+
+PinnedBuffer OffloadDriver::alloc_pinned(u64 bytes) {
+  require(bytes > 0, "zero-byte pinned buffer");
+  auto& frames = process_.address_space().frames();
+  const u64 frame_bytes = frames.frame_bytes();
+  const u64 count = ceil_div(bytes, frame_bytes);
+  PinnedBuffer buf;
+  buf.first_frame = frames.alloc_contiguous(count);
+  buf.frame_count = count;
+  buf.bytes = bytes;
+  buf.pa = frames.frame_addr(buf.first_frame);
+  return buf;
+}
+
+void OffloadDriver::free_pinned(const PinnedBuffer& buf) {
+  process_.address_space().frames().free_contiguous(buf.first_frame, buf.frame_count);
+}
+
+void OffloadDriver::copy_in(VirtAddr va, const PinnedBuffer& buf, u64 off, u64 bytes,
+                            std::function<void()> done) {
+  require(off + bytes <= buf.bytes, "copy_in overruns pinned buffer");
+  copies_.add();
+  bytes_copied_.add(bytes);
+  run_copy(va, buf.pa + off, bytes, /*to_pinned=*/true, std::move(done));
+}
+
+void OffloadDriver::copy_out(const PinnedBuffer& buf, u64 off, VirtAddr va, u64 bytes,
+                             std::function<void()> done) {
+  require(off + bytes <= buf.bytes, "copy_out overruns pinned buffer");
+  copies_.add();
+  bytes_copied_.add(bytes);
+  run_copy(va, buf.pa + off, bytes, /*to_pinned=*/false, std::move(done));
+}
+
+void OffloadDriver::run_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
+                             std::function<void()> done) {
+  auto& as = process_.address_space();
+  const u64 page = as.page_bytes();
+  const u64 pages = ceil_div((va & (page - 1)) + bytes, page);
+  pages_pinned_.add(pages);
+
+  if (cfg_.mode == CopyMode::kCpuCopy) {
+    // Driver-side memcpy: launch cost, then line-sized bus traffic.
+    os_.exec_service(cfg_.launch_cost, [this, va, pinned, bytes, to_pinned,
+                                        done = std::move(done)]() mutable {
+      cpu_copy(va, pinned, bytes, to_pinned, std::move(done));
+    });
+    return;
+  }
+
+  // Scatter-gather DMA: pin user pages (mapping them on demand, which is
+  // what get_user_pages does), then one DMA per physically contiguous run.
+  const Cycles setup = cfg_.launch_cost + cfg_.pin_page_cost * pages;
+  os_.exec_service(setup, [this, va, pinned, bytes, to_pinned, done = std::move(done)]() mutable {
+    auto& space = process_.address_space();
+    const u64 pg = space.page_bytes();
+    struct Seg {
+      PhysAddr user_pa;
+      PhysAddr pinned_pa;
+      u64 bytes;
+    };
+    auto segs = std::make_shared<std::vector<Seg>>();
+    u64 pos = 0;
+    while (pos < bytes) {
+      const VirtAddr a = va + pos;
+      if (!space.is_mapped(a)) space.map_page(a);
+      const u64 in_page = pg - (a & (pg - 1));
+      const u64 n = std::min<u64>(in_page, bytes - pos);
+      segs->push_back(Seg{*space.translate(a), pinned + pos, n});
+      pos += n;
+    }
+    auto idx = std::make_shared<std::size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, segs, idx, to_pinned, step, done = std::move(done)]() mutable {
+      if (*idx >= segs->size()) {
+        done();
+        return;
+      }
+      const Seg s = (*segs)[(*idx)++];
+      if (to_pinned)
+        dma_.copy(s.user_pa, s.pinned_pa, s.bytes, [step] { (*step)(); });
+      else
+        dma_.copy(s.pinned_pa, s.user_pa, s.bytes, [step] { (*step)(); });
+    };
+    (*step)();
+  });
+}
+
+void OffloadDriver::cpu_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
+                             std::function<void()> done) {
+  // The CPU streams cache-line-sized pieces over the bus: read source line,
+  // write destination line, repeat. Each chunk's functional copy happens at
+  // its completion time, so partial copies interleave consistently with
+  // other masters.
+  auto pos = std::make_shared<u64>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, pos, va, pinned, bytes, to_pinned, step, done = std::move(done)]() mutable {
+    if (*pos >= bytes) {
+      done();
+      return;
+    }
+    auto& space = process_.address_space();
+    const u64 page = space.page_bytes();
+    const u64 off = *pos;
+    const VirtAddr ua = va + off;
+    if (!space.is_mapped(ua)) space.map_page(ua);
+    const u64 in_page = page - (ua & (page - 1));
+    const u32 chunk = static_cast<u32>(
+        std::min<u64>({static_cast<u64>(cfg_.cpu_copy_chunk), bytes - off, in_page}));
+    const PhysAddr user_pa = *space.translate(ua);
+    const PhysAddr src = to_pinned ? user_pa : pinned + off;
+    const PhysAddr dst = to_pinned ? pinned + off : user_pa;
+    *pos += chunk;
+    bus_.request(mem::BusRequest{src, chunk, false, [this, src, dst, chunk, step] {
+      bus_.request(mem::BusRequest{dst, chunk, true, [this, src, dst, chunk, step] {
+        std::vector<u8> tmp(chunk);
+        pm_.read(src, std::span<u8>(tmp.data(), tmp.size()));
+        pm_.write(dst, std::span<const u8>(tmp.data(), tmp.size()));
+        (*step)();
+      }});
+    }});
+  };
+  (*step)();
+}
+
+}  // namespace vmsls::dma

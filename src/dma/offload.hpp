@@ -1,0 +1,92 @@
+// Copy-based offload driver — the conventional-accelerator baseline.
+//
+// Implements the flow the paper's virtual-memory hardware threads replace:
+//
+//   1. allocate a physically contiguous pinned buffer,
+//   2. copy user data in (CPU memcpy or scatter-gather DMA over pinned
+//      user pages),
+//   3. run the kernel with its MMU disabled against physical addresses,
+//   4. copy results back out.
+//
+// The driver accounts each phase separately so the SVM-vs-DMA experiment
+// can report the copy/compute breakdown.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dma/dma_engine.hpp"
+#include "mem/address_space.hpp"
+#include "mem/frames.hpp"
+#include "rt/os.hpp"
+#include "rt/process.hpp"
+
+namespace vmsls::dma {
+
+enum class CopyMode {
+  kCpuCopy,  // driver memcpy through the CPU (line-sized bus transactions)
+  kSgDma,    // pin user pages, scatter-gather DMA in page-sized bursts
+};
+
+struct OffloadConfig {
+  CopyMode mode = CopyMode::kSgDma;
+  Cycles pin_page_cost = 280;  // get_user_pages()-style cost per page
+  Cycles launch_cost = 500;    // ioctl / descriptor setup per transfer
+  u32 cpu_copy_chunk = 32;     // CPU memcpy moves cache lines
+};
+
+/// A pinned, physically contiguous device buffer.
+struct PinnedBuffer {
+  PhysAddr pa = 0;
+  u64 bytes = 0;
+  u64 first_frame = 0;
+  u64 frame_count = 0;
+};
+
+class OffloadDriver {
+ public:
+  OffloadDriver(sim::Simulator& sim, rt::OsModel& os, rt::Process& process, DmaEngine& dma,
+                mem::MemoryBus& bus, mem::PhysicalMemory& pm, const OffloadConfig& cfg,
+                std::string name);
+
+  OffloadDriver(const OffloadDriver&) = delete;
+  OffloadDriver& operator=(const OffloadDriver&) = delete;
+
+  /// Allocates a pinned contiguous buffer from the process's frame pool
+  /// (zero simulated time: done at setup).
+  PinnedBuffer alloc_pinned(u64 bytes);
+  void free_pinned(const PinnedBuffer& buf);
+
+  /// Copies user [va, va+bytes) into the pinned buffer at offset `off`.
+  void copy_in(VirtAddr va, const PinnedBuffer& buf, u64 off, u64 bytes,
+               std::function<void()> done);
+
+  /// Copies pinned data back to user memory.
+  void copy_out(const PinnedBuffer& buf, u64 off, VirtAddr va, u64 bytes,
+                std::function<void()> done);
+
+  const OffloadConfig& config() const noexcept { return cfg_; }
+  u64 bytes_copied() const noexcept { return bytes_copied_.value(); }
+
+ private:
+  /// Resolves user pages (mapping on demand, as pinning does) and runs one
+  /// DMA or CPU-copy per contiguous piece.
+  void run_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
+                std::function<void()> done);
+  void cpu_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
+                std::function<void()> done);
+
+  sim::Simulator& sim_;
+  rt::OsModel& os_;
+  rt::Process& process_;
+  DmaEngine& dma_;
+  mem::MemoryBus& bus_;
+  mem::PhysicalMemory& pm_;
+  OffloadConfig cfg_;
+  std::string name_;
+  Counter& copies_;
+  Counter& bytes_copied_;
+  Counter& pages_pinned_;
+};
+
+}  // namespace vmsls::dma

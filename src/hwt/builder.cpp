@@ -1,0 +1,117 @@
+#include "hwt/builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmsls::hwt {
+
+KernelBuilder::KernelBuilder(std::string name, u32 spad_bytes)
+    : name_(std::move(name)), spad_bytes_(spad_bytes) {}
+
+KernelBuilder& KernelBuilder::emit(Instr in) {
+  code_.push_back(in);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::li(Reg rd, i64 imm) { return emit({Op::kLi, rd, 0, 0, 8, 0, imm}); }
+KernelBuilder& KernelBuilder::mov(Reg rd, Reg ra) { return emit({Op::kMov, rd, ra, 0, 8, 0, 0}); }
+
+KernelBuilder& KernelBuilder::add(Reg rd, Reg ra, Reg rb) { return emit({Op::kAdd, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::sub(Reg rd, Reg ra, Reg rb) { return emit({Op::kSub, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::mul(Reg rd, Reg ra, Reg rb) { return emit({Op::kMul, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::divu(Reg rd, Reg ra, Reg rb) { return emit({Op::kDivU, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::remu(Reg rd, Reg ra, Reg rb) { return emit({Op::kRemU, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::and_(Reg rd, Reg ra, Reg rb) { return emit({Op::kAnd, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::or_(Reg rd, Reg ra, Reg rb) { return emit({Op::kOr, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::xor_(Reg rd, Reg ra, Reg rb) { return emit({Op::kXor, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::shl(Reg rd, Reg ra, Reg rb) { return emit({Op::kShl, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::shr(Reg rd, Reg ra, Reg rb) { return emit({Op::kShr, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::min(Reg rd, Reg ra, Reg rb) { return emit({Op::kMin, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::max(Reg rd, Reg ra, Reg rb) { return emit({Op::kMax, rd, ra, rb, 8, 0, 0}); }
+
+KernelBuilder& KernelBuilder::addi(Reg rd, Reg ra, i64 imm) { return emit({Op::kAddi, rd, ra, 0, 8, 0, imm}); }
+KernelBuilder& KernelBuilder::muli(Reg rd, Reg ra, i64 imm) { return emit({Op::kMuli, rd, ra, 0, 8, 0, imm}); }
+KernelBuilder& KernelBuilder::andi(Reg rd, Reg ra, i64 imm) { return emit({Op::kAndi, rd, ra, 0, 8, 0, imm}); }
+KernelBuilder& KernelBuilder::shli(Reg rd, Reg ra, i64 imm) { return emit({Op::kShli, rd, ra, 0, 8, 0, imm}); }
+KernelBuilder& KernelBuilder::shri(Reg rd, Reg ra, i64 imm) { return emit({Op::kShri, rd, ra, 0, 8, 0, imm}); }
+
+KernelBuilder& KernelBuilder::slt(Reg rd, Reg ra, Reg rb) { return emit({Op::kSlt, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::sltu(Reg rd, Reg ra, Reg rb) { return emit({Op::kSltu, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::seq(Reg rd, Reg ra, Reg rb) { return emit({Op::kSeq, rd, ra, rb, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::sne(Reg rd, Reg ra, Reg rb) { return emit({Op::kSne, rd, ra, rb, 8, 0, 0}); }
+
+KernelBuilder& KernelBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, code_.size()).second)
+    throw std::invalid_argument("duplicate label '" + name + "' in kernel '" + name_ + "'");
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::emit_branch(Op op, Reg ra, const std::string& target) {
+  fixups_.emplace_back(code_.size(), target);
+  return emit({op, 0, ra, 0, 8, 0, 0});
+}
+
+KernelBuilder& KernelBuilder::beqz(Reg ra, const std::string& t) { return emit_branch(Op::kBeqz, ra, t); }
+KernelBuilder& KernelBuilder::bnez(Reg ra, const std::string& t) { return emit_branch(Op::kBnez, ra, t); }
+KernelBuilder& KernelBuilder::jmp(const std::string& t) { return emit_branch(Op::kJmp, 0, t); }
+
+KernelBuilder& KernelBuilder::load(Reg rd, Reg ra, i64 offset, u8 size, u8 port) {
+  return emit({Op::kLoad, rd, ra, 0, size, port, offset});
+}
+KernelBuilder& KernelBuilder::store(Reg ra, Reg rb, i64 offset, u8 size, u8 port) {
+  return emit({Op::kStore, 0, ra, rb, size, port, offset});
+}
+KernelBuilder& KernelBuilder::burst_load(Reg spad_off, Reg mem_addr, Reg bytes, u8 port) {
+  return emit({Op::kBurstLoad, spad_off, mem_addr, bytes, 8, port, 0});
+}
+KernelBuilder& KernelBuilder::burst_store(Reg mem_addr, Reg spad_off, Reg bytes, u8 port) {
+  return emit({Op::kBurstStore, spad_off, mem_addr, bytes, 8, port, 0});
+}
+
+KernelBuilder& KernelBuilder::spad_load(Reg rd, Reg ra, i64 offset, u8 size) {
+  return emit({Op::kSpadLoad, rd, ra, 0, size, 0, offset});
+}
+KernelBuilder& KernelBuilder::spad_store(Reg ra, Reg rb, i64 offset, u8 size) {
+  return emit({Op::kSpadStore, 0, ra, rb, size, 0, offset});
+}
+
+KernelBuilder& KernelBuilder::mbox_get(Reg rd, unsigned mbox) {
+  return emit({Op::kMboxGet, rd, 0, 0, 8, 0, static_cast<i64>(mbox)});
+}
+KernelBuilder& KernelBuilder::mbox_put(unsigned mbox, Reg ra) {
+  return emit({Op::kMboxPut, 0, ra, 0, 8, 0, static_cast<i64>(mbox)});
+}
+KernelBuilder& KernelBuilder::sem_wait(unsigned sem) {
+  return emit({Op::kSemWait, 0, 0, 0, 8, 0, static_cast<i64>(sem)});
+}
+KernelBuilder& KernelBuilder::sem_post(unsigned sem) {
+  return emit({Op::kSemPost, 0, 0, 0, 8, 0, static_cast<i64>(sem)});
+}
+
+KernelBuilder& KernelBuilder::delay(i64 cycles) { return emit({Op::kDelay, 0, 0, 0, 8, 0, cycles}); }
+KernelBuilder& KernelBuilder::nop() { return emit({Op::kNop, 0, 0, 0, 8, 0, 0}); }
+KernelBuilder& KernelBuilder::halt() { return emit({Op::kHalt, 0, 0, 0, 8, 0, 0}); }
+
+Kernel KernelBuilder::build() {
+  for (const auto& [pc, label] : fixups_) {
+    auto it = labels_.find(label);
+    if (it == labels_.end())
+      throw std::invalid_argument("undefined label '" + label + "' in kernel '" + name_ + "'");
+    code_[pc].imm = static_cast<i64>(it->second);
+  }
+  Kernel k;
+  k.name = std::move(name_);
+  k.code = std::move(code_);
+  k.iface = analyze_interface(k.code, spad_bytes_);
+  // Kernels that declare a scratchpad but happen not to use it in this
+  // parameterization keep the declared capacity.
+  k.iface.spad_bytes = spad_bytes_;
+  for (const Instr& in : k.code) ++k.op_histogram[static_cast<std::size_t>(in.op)];
+  verify(k);
+  code_.clear();
+  labels_.clear();
+  fixups_.clear();
+  return k;
+}
+
+}  // namespace vmsls::hwt

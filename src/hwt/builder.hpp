@@ -1,0 +1,96 @@
+// Fluent kernel assembler with symbolic labels.
+//
+// Workload authors (and the example programs) construct kernels through
+// this builder; `build()` resolves labels, derives the interface, and runs
+// the verifier, so an invalid kernel never reaches the synthesis flow.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwt/kernel.hpp"
+
+namespace vmsls::hwt {
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name, u32 spad_bytes = 0);
+
+  // --- moves ---
+  KernelBuilder& li(Reg rd, i64 imm);
+  KernelBuilder& mov(Reg rd, Reg ra);
+
+  // --- arithmetic / logic (register) ---
+  KernelBuilder& add(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& sub(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& mul(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& divu(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& remu(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& and_(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& or_(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& xor_(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& shl(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& shr(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& min(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& max(Reg rd, Reg ra, Reg rb);
+
+  // --- arithmetic / logic (immediate) ---
+  KernelBuilder& addi(Reg rd, Reg ra, i64 imm);
+  KernelBuilder& muli(Reg rd, Reg ra, i64 imm);
+  KernelBuilder& andi(Reg rd, Reg ra, i64 imm);
+  KernelBuilder& shli(Reg rd, Reg ra, i64 imm);
+  KernelBuilder& shri(Reg rd, Reg ra, i64 imm);
+
+  // --- comparisons ---
+  KernelBuilder& slt(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& sltu(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& seq(Reg rd, Reg ra, Reg rb);
+  KernelBuilder& sne(Reg rd, Reg ra, Reg rb);
+
+  // --- control flow ---
+  KernelBuilder& label(const std::string& name);
+  KernelBuilder& beqz(Reg ra, const std::string& target);
+  KernelBuilder& bnez(Reg ra, const std::string& target);
+  KernelBuilder& jmp(const std::string& target);
+
+  // --- external memory ---
+  KernelBuilder& load(Reg rd, Reg ra, i64 offset = 0, u8 size = 8, u8 port = 0);
+  KernelBuilder& store(Reg ra, Reg rb, i64 offset = 0, u8 size = 8, u8 port = 0);
+  KernelBuilder& burst_load(Reg spad_off, Reg mem_addr, Reg bytes, u8 port = 0);
+  KernelBuilder& burst_store(Reg mem_addr, Reg spad_off, Reg bytes, u8 port = 0);
+
+  // --- scratchpad ---
+  KernelBuilder& spad_load(Reg rd, Reg ra, i64 offset = 0, u8 size = 8);
+  KernelBuilder& spad_store(Reg ra, Reg rb, i64 offset = 0, u8 size = 8);
+
+  // --- OS interface ---
+  KernelBuilder& mbox_get(Reg rd, unsigned mbox);
+  KernelBuilder& mbox_put(unsigned mbox, Reg ra);
+  KernelBuilder& sem_wait(unsigned sem);
+  KernelBuilder& sem_post(unsigned sem);
+
+  // --- misc ---
+  KernelBuilder& delay(i64 cycles);
+  KernelBuilder& nop();
+  KernelBuilder& halt();
+
+  /// Current instruction index (for size assertions in tests).
+  std::size_t size() const noexcept { return code_.size(); }
+
+  /// Resolves labels, analyzes the interface, verifies, and returns the
+  /// kernel. The builder is left empty.
+  Kernel build();
+
+ private:
+  KernelBuilder& emit(Instr in);
+  KernelBuilder& emit_branch(Op op, Reg ra, const std::string& target);
+
+  std::string name_;
+  u32 spad_bytes_;
+  std::vector<Instr> code_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;  // (pc, label)
+};
+
+}  // namespace vmsls::hwt

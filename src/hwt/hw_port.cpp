@@ -1,0 +1,81 @@
+#include "hwt/hw_port.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vmsls::hwt {
+
+struct HwMemPort::Xfer {
+  VirtAddr va = 0;
+  u64 pos = 0;  // bytes completed
+  std::vector<u8> buf;
+  bool is_write = false;
+  std::function<void(std::vector<u8>)> on_read_done;
+  std::function<void()> on_write_done;
+};
+
+HwMemPort::HwMemPort(sim::Simulator& sim, mem::Mmu& mmu, mem::MemoryBus& bus,
+                     mem::PhysicalMemory& pm, const HwPortConfig& cfg, std::string name)
+    : sim_(sim),
+      mmu_(mmu),
+      bus_(bus),
+      pm_(pm),
+      cfg_(cfg),
+      name_(std::move(name)),
+      reads_(sim.stats().counter(name_ + ".reads")),
+      writes_(sim.stats().counter(name_ + ".writes")),
+      bytes_(sim.stats().counter(name_ + ".bytes")) {
+  require(cfg.max_burst_bytes > 0, "burst cap must be nonzero");
+}
+
+void HwMemPort::read(VirtAddr va, u32 bytes, std::function<void(std::vector<u8>)> done) {
+  require(bytes > 0, "zero-byte port read");
+  reads_.add();
+  bytes_.add(bytes);
+  auto x = std::make_shared<Xfer>();
+  x->va = va;
+  x->buf.resize(bytes);
+  x->is_write = false;
+  x->on_read_done = std::move(done);
+  step(x);
+}
+
+void HwMemPort::write(VirtAddr va, std::span<const u8> data, std::function<void()> done) {
+  require(!data.empty(), "zero-byte port write");
+  writes_.add();
+  bytes_.add(data.size());
+  auto x = std::make_shared<Xfer>();
+  x->va = va;
+  x->buf.assign(data.begin(), data.end());
+  x->is_write = true;
+  x->on_write_done = std::move(done);
+  step(x);
+}
+
+void HwMemPort::step(const std::shared_ptr<Xfer>& x) {
+  if (x->pos >= x->buf.size()) {
+    if (x->is_write)
+      x->on_write_done();
+    else
+      x->on_read_done(std::move(x->buf));
+    return;
+  }
+  const u64 page = 1ull << mmu_.page_bits();
+  const VirtAddr va = x->va + x->pos;
+  const u64 to_page_end = page - (va & (page - 1));
+  const u32 chunk = static_cast<u32>(
+      std::min<u64>({to_page_end, x->buf.size() - x->pos, cfg_.max_burst_bytes}));
+
+  mmu_.translate(va, x->is_write, [this, x, va, chunk](PhysAddr pa) {
+    bus_.request(mem::BusRequest{pa, chunk, x->is_write, [this, x, pa, chunk] {
+      if (x->is_write)
+        pm_.write(pa, std::span<const u8>(x->buf.data() + x->pos, chunk));
+      else
+        pm_.read(pa, std::span<u8>(x->buf.data() + x->pos, chunk));
+      x->pos += chunk;
+      step(x);
+    }});
+  });
+}
+
+}  // namespace vmsls::hwt

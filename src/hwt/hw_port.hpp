@@ -1,0 +1,52 @@
+// Hardware-thread memory port: MMU-translated fabric bus master.
+//
+// This is the synthesized wrapper component that gives a hardware thread
+// its virtual-memory view. Every request is split at page boundaries (a
+// translation is valid for one page) and at the port's maximum burst
+// length (AXI-style), translated through the thread's MMU, then issued on
+// the shared memory bus. Functional data moves against PhysicalMemory at
+// each chunk's completion time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hwt/ports.hpp"
+#include "mem/bus.hpp"
+#include "mem/mmu.hpp"
+#include "mem/physmem.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::hwt {
+
+struct HwPortConfig {
+  u32 max_burst_bytes = 512;  // AXI burst cap
+};
+
+class HwMemPort final : public MemPort {
+ public:
+  HwMemPort(sim::Simulator& sim, mem::Mmu& mmu, mem::MemoryBus& bus, mem::PhysicalMemory& pm,
+            const HwPortConfig& cfg, std::string name);
+
+  void read(VirtAddr va, u32 bytes, std::function<void(std::vector<u8>)> done) override;
+  void write(VirtAddr va, std::span<const u8> data, std::function<void()> done) override;
+
+  mem::Mmu& mmu() noexcept { return mmu_; }
+
+ private:
+  struct Xfer;
+  void step(const std::shared_ptr<Xfer>& x);
+
+  sim::Simulator& sim_;
+  mem::Mmu& mmu_;
+  mem::MemoryBus& bus_;
+  mem::PhysicalMemory& pm_;
+  HwPortConfig cfg_;
+  std::string name_;
+
+  Counter& reads_;
+  Counter& writes_;
+  Counter& bytes_;
+};
+
+}  // namespace vmsls::hwt

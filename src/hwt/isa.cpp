@@ -1,0 +1,163 @@
+#include "hwt/isa.hpp"
+
+#include <sstream>
+
+namespace vmsls::hwt {
+
+bool is_blocking(Op op) noexcept {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kBurstLoad:
+    case Op::kBurstStore:
+    case Op::kMboxGet:
+    case Op::kMboxPut:
+    case Op::kSemWait:
+    case Op::kSemPost:
+    case Op::kDelay:
+    case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mem(Op op) noexcept {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kBurstLoad:
+    case Op::kBurstStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_os(Op op) noexcept {
+  switch (op) {
+    case Op::kMboxGet:
+    case Op::kMboxPut:
+    case Op::kSemWait:
+    case Op::kSemPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kLi: return "li";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivU: return "divu";
+    case Op::kRemU: return "remu";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kAddi: return "addi";
+    case Op::kMuli: return "muli";
+    case Op::kAndi: return "andi";
+    case Op::kShli: return "shli";
+    case Op::kShri: return "shri";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kSeq: return "seq";
+    case Op::kSne: return "sne";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kBeqz: return "beqz";
+    case Op::kBnez: return "bnez";
+    case Op::kJmp: return "jmp";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kBurstLoad: return "burst.load";
+    case Op::kBurstStore: return "burst.store";
+    case Op::kSpadLoad: return "spad.load";
+    case Op::kSpadStore: return "spad.store";
+    case Op::kMboxGet: return "mbox.get";
+    case Op::kMboxPut: return "mbox.put";
+    case Op::kSemWait: return "sem.wait";
+    case Op::kSemPost: return "sem.post";
+    case Op::kDelay: return "delay";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string to_string(const Instr& in) {
+  std::ostringstream os;
+  os << op_name(in.op);
+  auto r = [](Reg x) { return " r" + std::to_string(x); };
+  switch (in.op) {
+    case Op::kNop:
+    case Op::kHalt:
+      break;
+    case Op::kLi:
+      os << r(in.rd) << ", " << in.imm;
+      break;
+    case Op::kMov:
+      os << r(in.rd) << "," << r(in.ra);
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDivU: case Op::kRemU:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kShl: case Op::kShr:
+    case Op::kSlt: case Op::kSltu: case Op::kSeq: case Op::kSne:
+    case Op::kMin: case Op::kMax:
+      os << r(in.rd) << "," << r(in.ra) << "," << r(in.rb);
+      break;
+    case Op::kAddi: case Op::kMuli: case Op::kAndi: case Op::kShli: case Op::kShri:
+      os << r(in.rd) << "," << r(in.ra) << ", " << in.imm;
+      break;
+    case Op::kBeqz: case Op::kBnez:
+      os << r(in.ra) << ", @" << in.imm;
+      break;
+    case Op::kJmp:
+      os << " @" << in.imm;
+      break;
+    case Op::kLoad:
+      os << r(in.rd) << ", [" << "r" << int(in.ra) << (in.imm >= 0 ? "+" : "") << in.imm
+         << "] x" << int(in.size) << " p" << int(in.port);
+      break;
+    case Op::kStore:
+      os << " [r" << int(in.ra) << (in.imm >= 0 ? "+" : "") << in.imm << "]," << r(in.rb)
+         << " x" << int(in.size) << " p" << int(in.port);
+      break;
+    case Op::kBurstLoad:
+      os << " spad[r" << int(in.rd) << "] <- [r" << int(in.ra) << "], r" << int(in.rb)
+         << "B p" << int(in.port);
+      break;
+    case Op::kBurstStore:
+      os << " [r" << int(in.ra) << "] <- spad[r" << int(in.rd) << "], r" << int(in.rb)
+         << "B p" << int(in.port);
+      break;
+    case Op::kSpadLoad:
+      os << r(in.rd) << ", spad[r" << int(in.ra) << (in.imm >= 0 ? "+" : "") << in.imm << "] x"
+         << int(in.size);
+      break;
+    case Op::kSpadStore:
+      os << " spad[r" << int(in.ra) << (in.imm >= 0 ? "+" : "") << in.imm << "]," << r(in.rb)
+         << " x" << int(in.size);
+      break;
+    case Op::kMboxGet:
+      os << r(in.rd) << ", mbox" << in.imm;
+      break;
+    case Op::kMboxPut:
+      os << " mbox" << in.imm << "," << r(in.ra);
+      break;
+    case Op::kSemWait: case Op::kSemPost:
+      os << " sem" << in.imm;
+      break;
+    case Op::kDelay:
+      os << " " << in.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace vmsls::hwt

@@ -1,0 +1,89 @@
+// Kernel intermediate representation.
+//
+// This IR is the repository's stand-in for what a high-level-synthesis tool
+// emits: a register-transfer program over a 32-entry 64-bit register file,
+// a BRAM scratchpad, explicit memory ports that issue virtual-address
+// transactions (single-beat or burst), and blocking OS-interface operations
+// (mailbox/semaphore) matching the delegate-thread runtime protocol. The
+// same program executes on the hardware-thread engine (fabric cost model,
+// TLB/MMU ports) and on the CPU model (CPU cost model, cached ports), which
+// mirrors the paper's "same source through HLS and the compiler"
+// methodology. Arithmetic is integer/fixed-point, as is typical for fabric
+// datapaths of the era.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace vmsls::hwt {
+
+/// Register designator: 32 general-purpose 64-bit registers. By convention
+/// (enforced nowhere) kernels receive arguments in low registers via
+/// mailbox reads.
+using Reg = u8;
+inline constexpr unsigned kNumRegs = 32;
+
+enum class Op : u8 {
+  kNop,
+  // Register / immediate moves.
+  kLi,    // rd <- imm
+  kMov,   // rd <- ra
+  // Arithmetic and logic: rd <- ra (op) rb.
+  kAdd, kSub, kMul, kDivU, kRemU,
+  kAnd, kOr, kXor, kShl, kShr,
+  // Immediate forms: rd <- ra (op) imm.
+  kAddi, kMuli, kAndi, kShli, kShri,
+  // Comparisons: rd <- (ra cmp rb) ? 1 : 0.  Signed lt, unsigned ltu.
+  kSlt, kSltu, kSeq, kSne,
+  kMin, kMax,  // rd <- min/max(ra, rb), signed
+  // Control flow; imm is an absolute instruction index.
+  kBeqz,  // if (ra == 0) goto imm
+  kBnez,  // if (ra != 0) goto imm
+  kJmp,   // goto imm
+  // External memory via port `port` (virtual addresses).
+  kLoad,       // rd <- zext(mem[ra + imm], size)
+  kStore,      // mem[ra + imm] <- rb (size bytes)
+  kBurstLoad,  // spad[rd] <- mem[ra], rb bytes
+  kBurstStore, // mem[ra] <- spad[rd], rb bytes
+  // Scratchpad (local BRAM), single-cycle.
+  kSpadLoad,   // rd <- zext(spad[ra + imm], size)
+  kSpadStore,  // spad[ra + imm] <- rb (size bytes)
+  // OS interface (blocking, serviced by the runtime).
+  kMboxGet,  // rd <- mailbox[imm]
+  kMboxPut,  // mailbox[imm] <- ra
+  kSemWait,  // semaphore[imm]
+  kSemPost,  // semaphore[imm]
+  // Pipeline stall of imm cycles: models compute depth that the simple
+  // per-op costs cannot (e.g. floating-point cores, CORDIC).
+  kDelay,
+  kHalt,
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  Reg rd = 0;
+  Reg ra = 0;
+  Reg rb = 0;
+  u8 size = 8;   // access width for load/store/spad ops (1, 2, 4, 8)
+  u8 port = 0;   // memory port index for kLoad..kBurstStore
+  i64 imm = 0;
+};
+
+/// True for ops that suspend the engine on an external interface (memory
+/// port or OS call) or an explicit delay.
+bool is_blocking(Op op) noexcept;
+
+/// True for ops touching an external memory port.
+bool is_mem(Op op) noexcept;
+
+/// True for OS-interface ops.
+bool is_os(Op op) noexcept;
+
+const char* op_name(Op op) noexcept;
+
+/// One-line human-readable rendering, used by the netlist emitter and tests.
+std::string to_string(const Instr& instr);
+
+}  // namespace vmsls::hwt

@@ -1,0 +1,42 @@
+// Abstract interfaces between a kernel engine and the rest of the system.
+//
+// The engine is agnostic to what is behind its ports. The hardware-thread
+// configuration plugs in HwMemPort (TLB/MMU + fabric bus) and the delegate
+// OS interface; the software configuration plugs in a cached CPU port and
+// the direct syscall interface. This is the seam that lets one kernel
+// description serve as both the accelerator and its software baseline.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace vmsls::hwt {
+
+/// A memory port: reads and writes by *virtual* address. Completion
+/// callbacks fire when the transaction (including translation, faults and
+/// interconnect time) is done.
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+
+  virtual void read(VirtAddr va, u32 bytes, std::function<void(std::vector<u8>)> done) = 0;
+  virtual void write(VirtAddr va, std::span<const u8> data, std::function<void()> done) = 0;
+};
+
+/// The OS-service interface (mailboxes and semaphores). Blocking semantics:
+/// callbacks fire when the operation completes, possibly after waiting on a
+/// peer thread.
+class OsPort {
+ public:
+  virtual ~OsPort() = default;
+
+  virtual void mbox_get(unsigned mbox, std::function<void(i64)> done) = 0;
+  virtual void mbox_put(unsigned mbox, i64 value, std::function<void()> done) = 0;
+  virtual void sem_wait(unsigned sem, std::function<void()> done) = 0;
+  virtual void sem_post(unsigned sem, std::function<void()> done) = 0;
+};
+
+}  // namespace vmsls::hwt

@@ -1,0 +1,102 @@
+#include "mem/address_space.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vmsls::mem {
+
+AddressSpace::AddressSpace(PhysicalMemory& pm, FrameAllocator& frames, const PageTableConfig& cfg,
+                           VirtAddr heap_base)
+    : pm_(pm), frames_(frames), pt_(pm, frames, cfg), brk_(heap_base) {
+  require(heap_base > 0, "heap must not start at the null page");
+}
+
+VirtAddr AddressSpace::alloc(u64 bytes, u64 align) {
+  require(bytes > 0, "cannot allocate zero bytes");
+  require(is_pow2(align), "alignment must be a power of two");
+  brk_ = align_up(brk_, align);
+  const VirtAddr va = brk_;
+  brk_ += bytes;
+  pt_.check_va(brk_ - 1);
+  return va;
+}
+
+std::vector<u8>& AddressSpace::backing_page(u64 vpn) {
+  auto& page = backing_[vpn];
+  if (page.empty()) page.assign(page_bytes(), 0);
+  return page;
+}
+
+u64 AddressSpace::map_page(VirtAddr va, bool writable) {
+  const u64 page = page_bytes();
+  const VirtAddr base = align_down(va, page);
+  const u64 frame = frames_.alloc();
+  const PhysAddr pa = frames_.frame_addr(frame);
+  auto it = backing_.find(base / page);
+  if (it != backing_.end())
+    pm_.write(pa, std::span<const u8>(it->second.data(), it->second.size()));
+  else
+    pm_.clear(pa, page);
+  pt_.map(base, frame, writable);
+  ++resident_pages_;
+  ++demand_maps_;
+  return frame;
+}
+
+void AddressSpace::populate(VirtAddr va, u64 bytes) {
+  const u64 page = page_bytes();
+  for (VirtAddr p = align_down(va, page); p < va + bytes; p += page)
+    if (!pt_.is_mapped(p)) map_page(p);
+}
+
+u64 AddressSpace::evict(VirtAddr va, u64 bytes) {
+  const u64 page = page_bytes();
+  u64 evicted = 0;
+  for (VirtAddr p = align_down(va, page); p < va + bytes; p += page) {
+    const auto pte = pt_.lookup(p);
+    if (!pte) continue;
+    const PhysAddr pa = frames_.frame_addr(pte->frame);
+    auto& store = backing_page(p / page);
+    pm_.read(pa, std::span<u8>(store.data(), store.size()));
+    pt_.unmap(p);
+    frames_.free(pte->frame);
+    --resident_pages_;
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::optional<PhysAddr> AddressSpace::translate(VirtAddr va) const {
+  const auto pte = pt_.lookup(va);
+  if (!pte) return std::nullopt;
+  const u64 offset = va & (page_bytes() - 1);
+  return frames_.frame_addr(pte->frame) + offset;
+}
+
+void AddressSpace::read(VirtAddr va, std::span<u8> out) {
+  const u64 page = page_bytes();
+  u64 done = 0;
+  while (done < out.size()) {
+    const VirtAddr a = va + done;
+    const u64 off = a & (page - 1);
+    const u64 n = std::min<u64>(page - off, out.size() - done);
+    if (!pt_.is_mapped(a)) map_page(a);
+    pm_.read(*translate(a), out.subspan(done, n));
+    done += n;
+  }
+}
+
+void AddressSpace::write(VirtAddr va, std::span<const u8> data) {
+  const u64 page = page_bytes();
+  u64 done = 0;
+  while (done < data.size()) {
+    const VirtAddr a = va + done;
+    const u64 off = a & (page - 1);
+    const u64 n = std::min<u64>(page - off, data.size() - done);
+    if (!pt_.is_mapped(a)) map_page(a);
+    pm_.write(*translate(a), data.subspan(done, n));
+    done += n;
+  }
+}
+
+}  // namespace vmsls::mem

@@ -1,0 +1,91 @@
+// Process address space: page tables + frame allocation + backing store.
+//
+// This is the OS model's functional view of virtual memory. All operations
+// here complete in zero simulated time — the *costs* of OS paths (fault
+// service, map latency) are charged by the runtime layer when it invokes
+// them. The backing store plays the role of file/swap contents: pages that
+// are evicted keep their bytes here, and demand-mapping restores them,
+// which is how the residency-sweep experiments create cold pages with real
+// content.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/frames.hpp"
+#include "mem/pagetable.hpp"
+#include "mem/physmem.hpp"
+
+namespace vmsls::mem {
+
+class AddressSpace {
+ public:
+  AddressSpace(PhysicalMemory& pm, FrameAllocator& frames, const PageTableConfig& cfg,
+               VirtAddr heap_base = 0x0001'0000);
+
+  PageTable& page_table() noexcept { return pt_; }
+  const PageTable& page_table() const noexcept { return pt_; }
+  u64 page_bytes() const noexcept { return pt_.page_bytes(); }
+  FrameAllocator& frames() noexcept { return frames_; }
+
+  /// Reserves a virtual range (bump allocator); nothing is mapped yet.
+  VirtAddr alloc(u64 bytes, u64 align = 16);
+
+  /// Eagerly maps every page of [va, va+bytes) — pinned-buffer semantics.
+  void populate(VirtAddr va, u64 bytes);
+
+  /// Demand-maps the page containing `va`: allocates a frame, fills it from
+  /// the backing store (or zero), installs the PTE. Returns the frame.
+  u64 map_page(VirtAddr va, bool writable = true);
+
+  /// Evicts pages overlapping [va, va+bytes): contents are saved to the
+  /// backing store, PTEs invalidated, frames freed. Returns the number of
+  /// pages evicted. Callers must shoot down TLBs afterwards.
+  u64 evict(VirtAddr va, u64 bytes);
+
+  bool is_mapped(VirtAddr va) const { return pt_.is_mapped(va); }
+
+  /// Functional translation; nullopt when unmapped.
+  std::optional<PhysAddr> translate(VirtAddr va) const;
+
+  /// Software (CPU) data access. Touching an unmapped page maps it on
+  /// demand, exactly like a software page fault with zero modeled cost.
+  void read(VirtAddr va, std::span<u8> out);
+  void write(VirtAddr va, std::span<const u8> data);
+
+  template <typename T>
+  T read_scalar(VirtAddr va) {
+    T v{};
+    read(va, std::span<u8>(reinterpret_cast<u8*>(&v), sizeof(T)));
+    return v;
+  }
+
+  template <typename T>
+  void write_scalar(VirtAddr va, T v) {
+    write(va, std::span<const u8>(reinterpret_cast<const u8*>(&v), sizeof(T)));
+  }
+
+  u64 read_u64(VirtAddr va) { return read_scalar<u64>(va); }
+  void write_u64(VirtAddr va, u64 v) { write_scalar<u64>(va, v); }
+  u64 read_u32(VirtAddr va) { return read_scalar<u32>(va); }
+  void write_u32(VirtAddr va, u32 v) { write_scalar<u32>(va, v); }
+
+  /// Pages currently resident (mapped leaf PTEs created through this API).
+  u64 resident_pages() const noexcept { return resident_pages_; }
+  u64 faults_serviced() const noexcept { return demand_maps_; }
+
+ private:
+  std::vector<u8>& backing_page(u64 vpn);
+
+  PhysicalMemory& pm_;
+  FrameAllocator& frames_;
+  PageTable pt_;
+  VirtAddr brk_;
+  std::unordered_map<u64, std::vector<u8>> backing_;  // vpn -> page contents
+  u64 resident_pages_ = 0;
+  u64 demand_maps_ = 0;
+};
+
+}  // namespace vmsls::mem

@@ -1,0 +1,67 @@
+#include "mem/frames.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vmsls::mem {
+
+FrameAllocator::FrameAllocator(PhysAddr base, u64 frame_count, u64 frame_bytes)
+    : base_(base), frame_bytes_(frame_bytes), total_(frame_count), free_count_(frame_count),
+      used_(frame_count, false) {
+  require(frame_bytes > 0 && is_pow2(frame_bytes), "frame size must be a power of two");
+  require(is_aligned(base, frame_bytes), "frame region base must be frame aligned");
+  require(frame_count > 0, "frame region must contain frames");
+}
+
+u64 FrameAllocator::index_of(u64 frame) const {
+  const PhysAddr pa = frame * frame_bytes_;
+  require(pa >= base_ && pa < base_ + total_ * frame_bytes_, "frame outside allocator region");
+  return (pa - base_) / frame_bytes_;
+}
+
+u64 FrameAllocator::alloc() {
+  if (free_count_ == 0) throw std::runtime_error("FrameAllocator: out of physical frames");
+  for (u64 i = 0; i < total_; ++i) {
+    const u64 idx = (scan_hint_ + i) % total_;
+    if (!used_[idx]) {
+      used_[idx] = true;
+      --free_count_;
+      scan_hint_ = idx + 1;
+      return (base_ + idx * frame_bytes_) / frame_bytes_;
+    }
+  }
+  throw std::runtime_error("FrameAllocator: inconsistent free count");
+}
+
+u64 FrameAllocator::alloc_contiguous(u64 count) {
+  require(count > 0, "must allocate at least one frame");
+  if (count > free_count_) throw std::runtime_error("FrameAllocator: out of physical frames");
+  u64 run = 0;
+  for (u64 idx = 0; idx < total_; ++idx) {
+    run = used_[idx] ? 0 : run + 1;
+    if (run == count) {
+      const u64 first = idx + 1 - count;
+      for (u64 j = first; j <= idx; ++j) used_[j] = true;
+      free_count_ -= count;
+      return (base_ + first * frame_bytes_) / frame_bytes_;
+    }
+  }
+  throw std::runtime_error("FrameAllocator: no contiguous run of " + std::to_string(count) +
+                           " frames");
+}
+
+void FrameAllocator::free(u64 frame) {
+  const u64 idx = index_of(frame);
+  require(used_[idx], "double free of physical frame");
+  used_[idx] = false;
+  ++free_count_;
+  scan_hint_ = idx;
+}
+
+void FrameAllocator::free_contiguous(u64 first_frame, u64 count) {
+  for (u64 i = 0; i < count; ++i) free(first_frame + i);
+}
+
+bool FrameAllocator::is_allocated(u64 frame) const { return used_[index_of(frame)]; }
+
+}  // namespace vmsls::mem

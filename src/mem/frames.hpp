@@ -1,0 +1,51 @@
+// Physical frame allocator.
+//
+// Manages page-sized frames inside a region of physical memory. Used by the
+// OS model to back virtual pages and page-table nodes, and by the DMA
+// baseline's pinned-buffer allocator (which needs contiguous runs).
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace vmsls::mem {
+
+class FrameAllocator {
+ public:
+  /// Frames cover [base, base + frame_count * frame_bytes) of physical
+  /// memory. `base` must be frame-aligned.
+  FrameAllocator(PhysAddr base, u64 frame_count, u64 frame_bytes);
+
+  u64 frame_bytes() const noexcept { return frame_bytes_; }
+  u64 total_frames() const noexcept { return total_; }
+  u64 free_frames() const noexcept { return free_count_; }
+  u64 used_frames() const noexcept { return total_ - free_count_; }
+
+  /// Allocates one frame; returns its global frame number (physical address
+  /// = frame * frame_bytes). Throws std::runtime_error when exhausted.
+  u64 alloc();
+
+  /// Allocates `count` physically contiguous frames; returns the first
+  /// frame number. Used by the pinned-buffer baseline.
+  u64 alloc_contiguous(u64 count);
+
+  void free(u64 frame);
+  void free_contiguous(u64 first_frame, u64 count);
+
+  bool is_allocated(u64 frame) const;
+
+  PhysAddr frame_addr(u64 frame) const noexcept { return frame * frame_bytes_; }
+
+ private:
+  u64 index_of(u64 frame) const;
+
+  PhysAddr base_;
+  u64 frame_bytes_;
+  u64 total_;
+  u64 free_count_;
+  std::vector<bool> used_;  // indexed by local frame index
+  u64 scan_hint_ = 0;       // next index to try, keeps alloc O(1) amortized
+};
+
+}  // namespace vmsls::mem

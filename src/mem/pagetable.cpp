@@ -1,0 +1,128 @@
+#include "mem/pagetable.hpp"
+
+#include <stdexcept>
+
+namespace vmsls::mem {
+
+namespace {
+constexpr u64 kValidBit = 1ull << 0;
+constexpr u64 kWriteBit = 1ull << 1;
+constexpr u64 kAccessedBit = 1ull << 2;
+constexpr u64 kDirtyBit = 1ull << 3;
+constexpr unsigned kFrameShift = 16;
+}  // namespace
+
+Pte Pte::decode(u64 raw) noexcept {
+  Pte p;
+  p.valid = (raw & kValidBit) != 0;
+  p.writable = (raw & kWriteBit) != 0;
+  p.accessed = (raw & kAccessedBit) != 0;
+  p.dirty = (raw & kDirtyBit) != 0;
+  p.frame = raw >> kFrameShift;
+  return p;
+}
+
+u64 Pte::encode() const noexcept {
+  u64 raw = frame << kFrameShift;
+  if (valid) raw |= kValidBit;
+  if (writable) raw |= kWriteBit;
+  if (accessed) raw |= kAccessedBit;
+  if (dirty) raw |= kDirtyBit;
+  return raw;
+}
+
+PageTable::PageTable(PhysicalMemory& pm, FrameAllocator& frames, const PageTableConfig& cfg)
+    : pm_(pm), frames_(frames), cfg_(cfg) {
+  require(cfg.page_bits >= 6 && cfg.page_bits <= 24, "page size must be 64 B .. 16 MiB");
+  require(cfg.va_bits > cfg.page_bits && cfg.va_bits <= 48, "va_bits must exceed page_bits");
+  require(frames.frame_bytes() == page_bytes(), "frame allocator granularity must equal page size");
+  idx_bits_ = cfg.page_bits - 3;  // 8-byte PTEs, one table per frame
+  const unsigned translated = cfg.va_bits - cfg.page_bits;
+  levels_ = static_cast<unsigned>(ceil_div(translated, idx_bits_));
+  const u64 root_frame = frames_.alloc();
+  root_addr_ = frames_.frame_addr(root_frame);
+  pm_.clear(root_addr_, page_bytes());
+  table_frames_ = 1;
+}
+
+void PageTable::check_va(VirtAddr va) const {
+  if (cfg_.va_bits < 64 && (va >> cfg_.va_bits) != 0)
+    throw std::out_of_range("virtual address exceeds configured VA width");
+}
+
+u64 PageTable::index_at(VirtAddr va, unsigned level) const noexcept {
+  // Level 0 indexes the most significant translated bits.
+  const unsigned shift = cfg_.page_bits + idx_bits_ * (levels_ - 1 - level);
+  const u64 mask = (1ull << idx_bits_) - 1;
+  return (va >> shift) & mask;
+}
+
+PhysAddr PageTable::pte_addr(PhysAddr table_base, unsigned level, VirtAddr va) const noexcept {
+  return table_base + index_at(va, level) * 8;
+}
+
+std::optional<PhysAddr> PageTable::leaf_pte_addr(VirtAddr va, bool create) {
+  check_va(va);
+  PhysAddr base = root_addr_;
+  for (unsigned level = 0; level + 1 < levels_; ++level) {
+    const PhysAddr pa = pte_addr(base, level, va);
+    Pte pte = Pte::decode(pm_.read_u64(pa));
+    if (!pte.valid) {
+      if (!create) return std::nullopt;
+      const u64 frame = frames_.alloc();
+      pm_.clear(frames_.frame_addr(frame), page_bytes());
+      ++table_frames_;
+      pte = Pte{};
+      pte.valid = true;
+      pte.writable = true;  // interior nodes carry no permission semantics
+      pte.frame = frame;
+      pm_.write_u64(pa, pte.encode());
+    }
+    base = frames_.frame_addr(pte.frame);
+  }
+  return pte_addr(base, levels_ - 1, va);
+}
+
+void PageTable::map(VirtAddr va, u64 frame, bool writable) {
+  const PhysAddr leaf = *leaf_pte_addr(va, /*create=*/true);
+  Pte existing = Pte::decode(pm_.read_u64(leaf));
+  if (existing.valid) throw std::logic_error("PageTable::map: page already mapped");
+  Pte pte;
+  pte.valid = true;
+  pte.writable = writable;
+  pte.frame = frame;
+  pm_.write_u64(leaf, pte.encode());
+}
+
+void PageTable::unmap(VirtAddr va) {
+  auto leaf = leaf_pte_addr(va, /*create=*/false);
+  if (!leaf) throw std::logic_error("PageTable::unmap: page not mapped");
+  Pte pte = Pte::decode(pm_.read_u64(*leaf));
+  if (!pte.valid) throw std::logic_error("PageTable::unmap: page not mapped");
+  pm_.write_u64(*leaf, 0);
+}
+
+std::optional<Pte> PageTable::lookup(VirtAddr va) const {
+  check_va(va);
+  PhysAddr base = root_addr_;
+  for (unsigned level = 0; level < levels_; ++level) {
+    const PhysAddr pa = pte_addr(base, level, va);
+    const Pte pte = Pte::decode(pm_.read_u64(pa));
+    if (!pte.valid) return std::nullopt;
+    if (level + 1 == levels_) return pte;
+    base = frames_.frame_addr(pte.frame);
+  }
+  return std::nullopt;  // unreachable; levels_ >= 1
+}
+
+void PageTable::set_accessed_dirty(VirtAddr va, bool dirty) {
+  auto leaf = leaf_pte_addr(va, /*create=*/false);
+  if (!leaf) return;
+  Pte pte = Pte::decode(pm_.read_u64(*leaf));
+  if (!pte.valid) return;
+  pte.accessed = true;
+  pte.dirty = pte.dirty || dirty;
+  pm_.write_u64(*leaf, pte.encode());
+}
+
+}  // namespace vmsls::mem

@@ -1,0 +1,99 @@
+// Radix page tables living in simulated physical memory.
+//
+// The layout follows the hardware convention the paper's MMU requires: each
+// table node occupies exactly one page-sized frame and holds 8-byte PTEs,
+// so a table indexes (page_bits - 3) VA bits per level. Level count is
+// derived from the VA width:
+//
+//   page 4 KiB  -> 9-bit indices, 3 levels for a 32-bit VA
+//   page 64 KiB -> 13-bit indices, 2 levels
+//   page 2 MiB  -> 18-bit indices, 1 level
+//
+// which gives the page-size experiments their walk-depth story. The
+// software side (OS model) manipulates entries functionally in zero
+// simulated time; the hardware PageWalker reads the same bytes through the
+// memory bus and pays cycles.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mem/frames.hpp"
+#include "mem/physmem.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::mem {
+
+struct PageTableConfig {
+  unsigned va_bits = 32;
+  unsigned page_bits = 12;  // log2(page size)
+};
+
+/// Decoded page-table entry. The on-disk format packs `frame` into bits
+/// [63:16] and flags into the low bits.
+struct Pte {
+  bool valid = false;
+  bool writable = false;
+  bool accessed = false;
+  bool dirty = false;
+  u64 frame = 0;
+
+  static Pte decode(u64 raw) noexcept;
+  u64 encode() const noexcept;
+};
+
+class PageTable {
+ public:
+  PageTable(PhysicalMemory& pm, FrameAllocator& frames, const PageTableConfig& cfg);
+
+  const PageTableConfig& config() const noexcept { return cfg_; }
+  unsigned levels() const noexcept { return levels_; }
+  unsigned index_bits() const noexcept { return idx_bits_; }
+  u64 page_bytes() const noexcept { return 1ull << cfg_.page_bits; }
+  PhysAddr root_addr() const noexcept { return root_addr_; }
+
+  /// Index into the level-`level` table for `va` (level 0 = root).
+  u64 index_at(VirtAddr va, unsigned level) const noexcept;
+
+  /// Physical address of the PTE for `va` within a table at `table_base`.
+  PhysAddr pte_addr(PhysAddr table_base, unsigned level, VirtAddr va) const noexcept;
+
+  /// Maps the page containing `va` to `frame`. Interior tables are created
+  /// on demand (frames come from the allocator). Remapping an already valid
+  /// page is an error — unmap first.
+  void map(VirtAddr va, u64 frame, bool writable);
+
+  /// Invalidates the leaf PTE. Interior tables are retained. Throws if the
+  /// page was not mapped.
+  void unmap(VirtAddr va);
+
+  /// Functional walk. Returns nullopt if any level is invalid.
+  std::optional<Pte> lookup(VirtAddr va) const;
+
+  bool is_mapped(VirtAddr va) const { return lookup(va).has_value(); }
+
+  /// Sets accessed/dirty bits on the leaf PTE (software-managed A/D).
+  void set_accessed_dirty(VirtAddr va, bool dirty);
+
+  /// Number of interior table frames allocated so far (root included).
+  u64 table_frames() const noexcept { return table_frames_; }
+
+  /// Validates `va` fits in the configured VA width.
+  void check_va(VirtAddr va) const;
+
+ private:
+  /// Walks to the leaf table, creating interior nodes when `create` is set.
+  /// Returns the physical address of the leaf PTE, or nullopt if a level is
+  /// missing and `create` is false.
+  std::optional<PhysAddr> leaf_pte_addr(VirtAddr va, bool create);
+
+  PhysicalMemory& pm_;
+  FrameAllocator& frames_;
+  PageTableConfig cfg_;
+  unsigned idx_bits_;
+  unsigned levels_;
+  PhysAddr root_addr_;
+  u64 table_frames_ = 0;
+};
+
+}  // namespace vmsls::mem

@@ -1,0 +1,65 @@
+// Functional physical memory backing store.
+//
+// Holds the *contents* of simulated DRAM. Timing is modeled separately by
+// DramModel/MemoryBus; every component that completes a memory transaction
+// reads or writes its data here at completion time. Storage is sparse
+// (allocated in 4 KiB chunks on first touch) so multi-GiB address spaces
+// cost only what is actually used.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace vmsls::mem {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u64 size_bytes);
+
+  u64 size() const noexcept { return size_; }
+
+  /// Reads `out.size()` bytes starting at `addr`. Untouched memory reads as
+  /// zero. Throws std::out_of_range past the end of memory.
+  void read(PhysAddr addr, std::span<u8> out) const;
+
+  void write(PhysAddr addr, std::span<const u8> data);
+
+  /// Typed helpers for naturally aligned scalar access.
+  template <typename T>
+  T read_scalar(PhysAddr addr) const {
+    T v{};
+    read(addr, std::span<u8>(reinterpret_cast<u8*>(&v), sizeof(T)));
+    return v;
+  }
+
+  template <typename T>
+  void write_scalar(PhysAddr addr, T v) {
+    write(addr, std::span<const u8>(reinterpret_cast<const u8*>(&v), sizeof(T)));
+  }
+
+  u64 read_u64(PhysAddr addr) const { return read_scalar<u64>(addr); }
+  void write_u64(PhysAddr addr, u64 v) { write_scalar<u64>(addr, v); }
+
+  /// Zeroes a range (releases nothing; just clears contents).
+  void clear(PhysAddr addr, u64 bytes);
+
+  /// Number of 4 KiB storage chunks actually touched (for tests / memory
+  /// footprint introspection).
+  std::size_t touched_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  static constexpr u64 kChunkBytes = 4 * KiB;
+
+  void check_range(PhysAddr addr, u64 bytes) const;
+  std::vector<u8>& chunk(u64 index);
+  const std::vector<u8>* find_chunk(u64 index) const;
+
+  u64 size_;
+  std::unordered_map<u64, std::vector<u8>> chunks_;
+};
+
+}  // namespace vmsls::mem

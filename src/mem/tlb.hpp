@@ -1,0 +1,75 @@
+// Set-associative translation lookaside buffer.
+//
+// Each hardware thread's memory port owns one of these (the paper's
+// per-thread TLB design point); the shared-TLB configuration of the scaling
+// experiment attaches several ports to a single instance. True-LRU
+// replacement per set; deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::mem {
+
+struct TlbConfig {
+  unsigned entries = 16;
+  unsigned ways = 4;       // set-associativity (entries/ways sets)
+  Cycles hit_latency = 1;  // cycles added to a translated access on a hit
+};
+
+struct TlbEntry {
+  u64 vpn = 0;
+  u64 frame = 0;
+  bool writable = false;
+};
+
+class Tlb {
+ public:
+  Tlb(const TlbConfig& cfg, StatRegistry& stats, std::string name);
+
+  const TlbConfig& config() const noexcept { return cfg_; }
+
+  /// Looks up a virtual page number. Counts a hit or a miss.
+  std::optional<TlbEntry> lookup(u64 vpn);
+
+  /// Probe without touching statistics or LRU (for tests/introspection).
+  std::optional<TlbEntry> peek(u64 vpn) const;
+
+  void insert(u64 vpn, u64 frame, bool writable);
+
+  /// Invalidates a single translation if present (TLB shootdown).
+  void invalidate(u64 vpn);
+
+  /// Invalidates everything (address-space-wide shootdown).
+  void flush();
+
+  u64 hits() const noexcept { return hits_.value(); }
+  u64 misses() const noexcept { return misses_.value(); }
+  double hit_rate() const noexcept;
+
+ private:
+  struct Way {
+    bool valid = false;
+    TlbEntry entry;
+    u64 lru = 0;  // larger = more recently used
+  };
+
+  unsigned set_of(u64 vpn) const noexcept { return static_cast<unsigned>(vpn % sets_); }
+
+  TlbConfig cfg_;
+  unsigned sets_;
+  std::vector<Way> ways_;  // sets_ x cfg_.ways, row-major
+  u64 tick_ = 0;
+
+  Counter& hits_;
+  Counter& misses_;
+  Counter& evictions_;
+  Counter& flushes_;
+};
+
+}  // namespace vmsls::mem

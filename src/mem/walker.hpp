@@ -1,0 +1,111 @@
+// Hardware page-table walker.
+//
+// A single walker component is shared by all hardware threads (the paper's
+// MMU is a shared fabric block). It services up to `ports` walks
+// concurrently — the default of 1 serializes all misses, which the
+// thread-scaling experiment measures, and ablation A4 adds ports. Each
+// level of the radix walk is one 8-byte read on the memory bus. An optional
+// page-walk cache remembers the last-level interior table for recently
+// walked regions, cutting full walks to a single memory read (ablation A1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/bus.hpp"
+#include "mem/pagetable.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::mem {
+
+struct WalkerConfig {
+  Cycles setup_latency = 2;  // miss-handling handshake before the first read
+  bool walk_cache_enabled = true;
+  unsigned walk_cache_entries = 16;
+  unsigned ports = 1;  // concurrent walks serviced
+};
+
+struct WalkResult {
+  bool fault = false;
+  unsigned fault_level = 0;  // level whose PTE was invalid (0 = root)
+  u64 frame = 0;
+  bool writable = false;
+};
+
+class PageWalker {
+ public:
+  PageWalker(sim::Simulator& sim, MemoryBus& bus, PhysicalMemory& pm, const PageTable& pt,
+             const WalkerConfig& cfg, std::string name);
+
+  PageWalker(const PageWalker&) = delete;
+  PageWalker& operator=(const PageWalker&) = delete;
+
+  /// Starts (or queues) a walk for `va`; `done` fires when the walk
+  /// completes, successfully or with a fault.
+  void walk(VirtAddr va, std::function<void(WalkResult)> done);
+
+  /// Drops all cached interior entries. The OS model calls this as part of
+  /// TLB shootdown whenever it changes the page tables.
+  void flush_cache();
+
+  const PageTable& page_table() const noexcept { return pt_; }
+  unsigned page_bits() const noexcept { return pt_.config().page_bits; }
+  unsigned active_walks() const noexcept { return active_; }
+
+ private:
+  struct Job {
+    VirtAddr va;
+    std::function<void(WalkResult)> done;
+    Cycles enqueued;
+  };
+  /// Per-walk state machine; several may be in flight.
+  struct Walk {
+    VirtAddr va = 0;
+    unsigned level = 0;
+    PhysAddr base = 0;
+    std::function<void(WalkResult)> done;
+    Cycles started = 0;
+  };
+  struct CacheSlot {
+    bool valid = false;
+    u64 tag = 0;        // va >> (page_bits + index_bits)
+    PhysAddr base = 0;  // leaf table base
+    u64 lru = 0;
+  };
+
+  void try_start();
+  void begin(Job job);
+  void read_level(const std::shared_ptr<Walk>& w);
+  void on_pte(const std::shared_ptr<Walk>& w, u64 raw);
+  void finish(const std::shared_ptr<Walk>& w, const WalkResult& r);
+
+  bool cache_lookup(VirtAddr va, PhysAddr& base);
+  void cache_fill(VirtAddr va, PhysAddr base);
+  u64 cache_tag(VirtAddr va) const noexcept;
+
+  sim::Simulator& sim_;
+  MemoryBus& bus_;
+  PhysicalMemory& pm_;
+  const PageTable& pt_;
+  WalkerConfig cfg_;
+  std::string name_;
+
+  std::deque<Job> queue_;
+  unsigned active_ = 0;
+
+  std::vector<CacheSlot> cache_;
+  u64 cache_tick_ = 0;
+
+  Counter& walks_;
+  Counter& faults_;
+  Counter& mem_reads_;
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Histogram& walk_latency_;
+  Histogram& queue_wait_;
+};
+
+}  // namespace vmsls::mem

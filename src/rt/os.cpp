@@ -1,0 +1,146 @@
+#include "rt/os.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rt/process.hpp"
+#include "util/log.hpp"
+
+namespace vmsls::rt {
+
+OsModel::OsModel(sim::Simulator& sim, const OsConfig& cfg, std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      name_(std::move(name)),
+      core_free_(std::max(1u, cfg.service_cores), 0),
+      services_(sim.stats().counter(name_ + ".services")),
+      busy_cycles_(sim.stats().counter(name_ + ".busy_cycles")),
+      queue_wait_(sim.stats().histogram(name_ + ".queue_wait")) {}
+
+void OsModel::exec_service(Cycles pre_cost, std::function<void()> work) {
+  services_.add();
+  busy_cycles_.add(pre_cost);
+  // Earliest-available-core policy (deterministic).
+  auto it = std::min_element(core_free_.begin(), core_free_.end());
+  const Cycles start = std::max(sim_.now(), *it);
+  queue_wait_.record(start - sim_.now());
+  *it = start + pre_cost;
+  sim_.schedule_at(start + pre_cost, std::move(work));
+}
+
+FaultHandler::FaultHandler(sim::Simulator& sim, OsModel& os, Process& process, std::string name)
+    : sim_(sim),
+      os_(os),
+      process_(process),
+      name_(std::move(name)),
+      faults_(sim.stats().counter(name_ + ".faults")),
+      latency_(sim.stats().histogram(name_ + ".latency")) {}
+
+void FaultHandler::raise(mem::FaultRequest req) {
+  faults_.add();
+  log_debug(name_, "page fault: thread ", req.thread_id, " va=0x", std::hex, req.va,
+            req.is_write ? " (write)" : " (read)");
+  const Cycles raised_at = sim_.now();
+  auto& as = process_.address_space();
+  const auto& cfg = os_.config();
+  const Cycles copy_cost = as.page_bytes() / std::max(1u, cfg.copy_bytes_per_cycle);
+  const Cycles total =
+      cfg.irq_latency + cfg.fault_service + cfg.map_page_cost + copy_cost + cfg.response_latency;
+  os_.exec_service(total, [this, req = std::move(req), raised_at] {
+    auto& space = process_.address_space();
+    // Another thread may have faulted the same page in meanwhile.
+    if (!space.is_mapped(req.va)) space.map_page(req.va, /*writable=*/true);
+    latency_.record(sim_.now() - raised_at);
+    req.retry();
+  });
+}
+
+DelegateOsPort::DelegateOsPort(sim::Simulator& sim, OsModel& os, Process& process,
+                               std::string name)
+    : sim_(sim),
+      os_(os),
+      process_(process),
+      name_(std::move(name)),
+      calls_(sim.stats().counter(name_ + ".delegate_calls")) {}
+
+void DelegateOsPort::mbox_get(unsigned mbox, std::function<void(i64)> done) {
+  calls_.add();
+  const unsigned idx = bindings_.map_mailbox(mbox);
+  const auto& cfg = os_.config();
+  os_.exec_service(cfg.irq_latency + cfg.syscall_service,
+                   [this, mbox = idx, done = std::move(done)]() mutable {
+    process_.mailbox(mbox).get([this, done = std::move(done)](i64 v) {
+      sim_.schedule_in(os_.config().response_latency, [done, v] { done(v); });
+    });
+  });
+}
+
+void DelegateOsPort::mbox_put(unsigned mbox, i64 value, std::function<void()> done) {
+  calls_.add();
+  const unsigned idx = bindings_.map_mailbox(mbox);
+  const auto& cfg = os_.config();
+  os_.exec_service(cfg.irq_latency + cfg.syscall_service,
+                   [this, mbox = idx, value, done = std::move(done)]() mutable {
+    process_.mailbox(mbox).put(value, [this, done = std::move(done)] {
+      sim_.schedule_in(os_.config().response_latency, done);
+    });
+  });
+}
+
+void DelegateOsPort::sem_wait(unsigned sem, std::function<void()> done) {
+  calls_.add();
+  const unsigned idx = bindings_.map_semaphore(sem);
+  const auto& cfg = os_.config();
+  os_.exec_service(cfg.irq_latency + cfg.syscall_service,
+                   [this, sem = idx, done = std::move(done)]() mutable {
+    process_.semaphore(sem).wait([this, done = std::move(done)] {
+      sim_.schedule_in(os_.config().response_latency, done);
+    });
+  });
+}
+
+void DelegateOsPort::sem_post(unsigned sem, std::function<void()> done) {
+  calls_.add();
+  const unsigned idx = bindings_.map_semaphore(sem);
+  const auto& cfg = os_.config();
+  os_.exec_service(cfg.irq_latency + cfg.syscall_service,
+                   [this, sem = idx, done = std::move(done)]() mutable {
+    process_.semaphore(sem).post();
+    sim_.schedule_in(os_.config().response_latency, done);
+  });
+}
+
+DirectOsPort::DirectOsPort(sim::Simulator& sim, const OsConfig& cfg, Process& process,
+                           std::string name)
+    : sim_(sim), cfg_(cfg), process_(process), name_(std::move(name)) {}
+
+void DirectOsPort::mbox_get(unsigned mbox, std::function<void(i64)> done) {
+  const unsigned idx = bindings_.map_mailbox(mbox);
+  sim_.schedule_in(cfg_.sw_syscall, [this, mbox = idx, done = std::move(done)]() mutable {
+    process_.mailbox(mbox).get(std::move(done));
+  });
+}
+
+void DirectOsPort::mbox_put(unsigned mbox, i64 value, std::function<void()> done) {
+  const unsigned idx = bindings_.map_mailbox(mbox);
+  sim_.schedule_in(cfg_.sw_syscall, [this, mbox = idx, value, done = std::move(done)]() mutable {
+    process_.mailbox(mbox).put(value, std::move(done));
+  });
+}
+
+void DirectOsPort::sem_wait(unsigned sem, std::function<void()> done) {
+  const unsigned idx = bindings_.map_semaphore(sem);
+  sim_.schedule_in(cfg_.sw_syscall, [this, sem = idx, done = std::move(done)]() mutable {
+    process_.semaphore(sem).wait(std::move(done));
+  });
+}
+
+void DirectOsPort::sem_post(unsigned sem, std::function<void()> done) {
+  const unsigned idx = bindings_.map_semaphore(sem);
+  sim_.schedule_in(cfg_.sw_syscall, [this, sem = idx, done = std::move(done)]() mutable {
+    process_.semaphore(sem).post();
+    done();
+  });
+}
+
+}  // namespace vmsls::rt

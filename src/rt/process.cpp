@@ -1,0 +1,63 @@
+#include "rt/process.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmsls::rt {
+
+Process::Process(sim::Simulator& sim, mem::AddressSpace& as, std::string name)
+    : sim_(sim), as_(as), name_(std::move(name)) {}
+
+Mailbox& Process::add_mailbox(unsigned depth, const std::string& name) {
+  const std::string n = name.empty() ? name_ + ".mbox" + std::to_string(mailboxes_.size()) : name;
+  mailboxes_.push_back(std::make_unique<Mailbox>(depth, n));
+  return *mailboxes_.back();
+}
+
+Semaphore& Process::add_semaphore(u64 initial, const std::string& name) {
+  const std::string n = name.empty() ? name_ + ".sem" + std::to_string(semaphores_.size()) : name;
+  semaphores_.push_back(std::make_unique<Semaphore>(initial, n));
+  return *semaphores_.back();
+}
+
+Mailbox& Process::mailbox(unsigned index) {
+  if (index >= mailboxes_.size())
+    throw std::out_of_range(name_ + ": mailbox " + std::to_string(index) + " does not exist");
+  return *mailboxes_[index];
+}
+
+Semaphore& Process::semaphore(unsigned index) {
+  if (index >= semaphores_.size())
+    throw std::out_of_range(name_ + ": semaphore " + std::to_string(index) + " does not exist");
+  return *semaphores_[index];
+}
+
+void Process::register_mmu(mem::Mmu* mmu) {
+  require(mmu != nullptr, "null MMU");
+  mmus_.push_back(mmu);
+}
+
+void Process::register_walker(mem::PageWalker* walker) {
+  require(walker != nullptr, "null walker");
+  walkers_.push_back(walker);
+}
+
+u64 Process::evict(VirtAddr va, u64 bytes) {
+  const u64 evicted = as_.evict(va, bytes);
+  if (evicted > 0) {
+    const u64 page = as_.page_bytes();
+    for (VirtAddr p = align_down(va, page); p < va + bytes; p += page)
+      for (auto* mmu : mmus_) mmu->shootdown(p);
+    for (auto* w : walkers_) w->flush_cache();
+    ++shootdowns_;
+  }
+  return evicted;
+}
+
+void Process::shootdown_all() {
+  for (auto* mmu : mmus_) mmu->shootdown_all();
+  for (auto* w : walkers_) w->flush_cache();
+  ++shootdowns_;
+}
+
+}  // namespace vmsls::rt

@@ -1,0 +1,72 @@
+// Process: the shared context of software and hardware threads.
+//
+// Owns the synchronization-object tables and references the address space.
+// All OS-visible virtual-memory operations (populate, evict, protection
+// changes) funnel through here so TLB shootdown and walk-cache flushes are
+// never forgotten — the correctness backbone of the demand-paging
+// experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/mmu.hpp"
+#include "mem/walker.hpp"
+#include "rt/sync.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::rt {
+
+class Process {
+ public:
+  Process(sim::Simulator& sim, mem::AddressSpace& as, std::string name);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  mem::AddressSpace& address_space() noexcept { return as_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+  // --- synchronization object tables (index = kernel-IR object id) ---
+  Mailbox& add_mailbox(unsigned depth, const std::string& name = "");
+  Semaphore& add_semaphore(u64 initial, const std::string& name = "");
+  Mailbox& mailbox(unsigned index);
+  Semaphore& semaphore(unsigned index);
+  unsigned mailbox_count() const noexcept { return static_cast<unsigned>(mailboxes_.size()); }
+  unsigned semaphore_count() const noexcept { return static_cast<unsigned>(semaphores_.size()); }
+
+  // --- hardware MMU registration for shootdown ---
+  void register_mmu(mem::Mmu* mmu);
+  void register_walker(mem::PageWalker* walker);
+
+  // --- OS-visible memory management (functional; costs charged by caller) ---
+
+  /// Eagerly maps (pins) the range. No shootdown needed: invalid->valid.
+  void populate(VirtAddr va, u64 bytes) { as_.populate(va, bytes); }
+
+  /// Evicts resident pages in the range and shoots down every hardware TLB
+  /// and the shared walk cache. Returns pages evicted.
+  u64 evict(VirtAddr va, u64 bytes);
+
+  /// Full address-space shootdown (e.g. after wholesale remapping).
+  void shootdown_all();
+
+  /// Convenience typed heap accessors (software-side, zero cost).
+  VirtAddr alloc(u64 bytes, u64 align = 16) { return as_.alloc(bytes, align); }
+  u64 shootdowns() const noexcept { return shootdowns_; }
+
+ private:
+  sim::Simulator& sim_;
+  mem::AddressSpace& as_;
+  std::string name_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Semaphore>> semaphores_;
+  std::vector<mem::Mmu*> mmus_;
+  std::vector<mem::PageWalker*> walkers_;
+  u64 shootdowns_ = 0;
+};
+
+}  // namespace vmsls::rt

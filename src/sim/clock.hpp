@@ -1,0 +1,38 @@
+// Clock-domain ratio conversion.
+//
+// The reference clock is the FPGA fabric clock. The host CPU runs in a
+// faster domain; its instruction costs are converted to fabric cycles with
+// a rational ratio so no floating-point drift accumulates.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace vmsls::sim {
+
+/// A clock domain whose frequency is `num/den` times the reference clock.
+/// E.g. a 667 MHz CPU over a 200 MHz fabric is ratio {10, 3} (3.33x).
+class ClockDomain {
+ public:
+  constexpr ClockDomain(u64 num, u64 den) : num_(num), den_(den) {
+    // Cannot use util::require in constexpr context portably; validate lazily.
+  }
+
+  /// Converts `local` cycles of this domain to reference cycles, rounding up
+  /// (work cannot complete mid-reference-cycle).
+  constexpr Cycles to_ref(Cycles local) const noexcept {
+    return (local * den_ + num_ - 1) / num_;
+  }
+
+  /// Converts reference cycles to this domain's cycles, rounding down.
+  constexpr Cycles from_ref(Cycles ref) const noexcept { return ref * num_ / den_; }
+
+  constexpr double ratio() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  u64 num_;
+  u64 den_;
+};
+
+}  // namespace vmsls::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace vmsls::sim {
+
+void Simulator::schedule_at(Cycles when, EventFn fn) {
+  ensure(when >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // The queue's top is const; we must copy the closure out. Events are small
+  // so this is acceptable; the queue is the simulator's hot path but the
+  // workloads below it dominate runtime.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+u64 Simulator::run(Cycles max_cycles) {
+  const Cycles deadline = (max_cycles == ~0ull) ? ~0ull : now_ + max_cycles;
+  u64 executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace vmsls::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation kernel.
+//
+// The simulated SoC advances on a single reference clock — the FPGA fabric
+// clock. Components schedule closures at absolute or relative cycle counts;
+// the kernel executes them in (time, insertion-order) order, which makes
+// runs fully deterministic. Faster clock domains (the host CPU) are modeled
+// by ratio conversion, see sim/clock.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::sim {
+
+using EventFn = std::function<void()>;
+
+/// Central event queue + simulated clock.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // The event queue stores closures that may capture `this`-pointers of
+  // components; moving the simulator would not break that, but copying would
+  // duplicate pending work, so both are disabled.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Cycles now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` cycles from now (0 = later this cycle,
+  /// after all currently pending same-cycle events).
+  void schedule_in(Cycles delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  void schedule_at(Cycles when, EventFn fn);
+
+  /// Runs until the event queue drains or `max_cycles` elapse. Returns the
+  /// number of events executed.
+  u64 run(Cycles max_cycles = ~0ull);
+
+  /// Executes the single next event. Returns false if the queue is empty.
+  bool step();
+
+  bool idle() const noexcept { return queue_.empty(); }
+  u64 events_executed() const noexcept { return events_executed_; }
+
+  /// Shared statistics registry for all components in this simulation.
+  StatRegistry& stats() noexcept { return stats_; }
+  const StatRegistry& stats() const noexcept { return stats_; }
+
+ private:
+  struct Event {
+    Cycles when;
+    u64 seq;  // tie-break: FIFO among same-cycle events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycles now_ = 0;
+  u64 next_seq_ = 0;
+  u64 events_executed_ = 0;
+  StatRegistry stats_;
+};
+
+}  // namespace vmsls::sim

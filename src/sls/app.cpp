@@ -1,0 +1,74 @@
+#include "sls/app.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmsls::sls {
+
+ThreadSpec& AppSpec::add_hw_thread(std::string thread_name, hwt::Kernel kernel,
+                                   std::vector<std::string> mbox_bindings,
+                                   std::vector<std::string> sem_bindings) {
+  ThreadSpec t;
+  t.name = std::move(thread_name);
+  t.kind = ThreadKind::kHardware;
+  t.kernel = std::move(kernel);
+  t.mailbox_bindings = std::move(mbox_bindings);
+  t.semaphore_bindings = std::move(sem_bindings);
+  threads.push_back(std::move(t));
+  return threads.back();
+}
+
+ThreadSpec& AppSpec::add_sw_thread(std::string thread_name, hwt::Kernel kernel,
+                                   std::vector<std::string> mbox_bindings,
+                                   std::vector<std::string> sem_bindings) {
+  ThreadSpec& t = add_hw_thread(std::move(thread_name), std::move(kernel),
+                                std::move(mbox_bindings), std::move(sem_bindings));
+  t.kind = ThreadKind::kSoftware;
+  return t;
+}
+
+void AppSpec::add_mailbox(std::string mbox_name, unsigned depth) {
+  mailboxes.push_back(MailboxSpec{std::move(mbox_name), depth});
+}
+
+void AppSpec::add_semaphore(std::string sem_name, u64 initial) {
+  semaphores.push_back(SemaphoreSpec{std::move(sem_name), initial});
+}
+
+void AppSpec::add_buffer(std::string buffer_name, u64 bytes, bool pinned) {
+  buffers.push_back(BufferSpec{std::move(buffer_name), bytes, pinned});
+}
+
+unsigned AppSpec::mailbox_index(const std::string& mbox_name) const {
+  for (unsigned i = 0; i < mailboxes.size(); ++i)
+    if (mailboxes[i].name == mbox_name) return i;
+  throw std::out_of_range("app '" + name + "': no mailbox named '" + mbox_name + "'");
+}
+
+unsigned AppSpec::semaphore_index(const std::string& sem_name) const {
+  for (unsigned i = 0; i < semaphores.size(); ++i)
+    if (semaphores[i].name == sem_name) return i;
+  throw std::out_of_range("app '" + name + "': no semaphore named '" + sem_name + "'");
+}
+
+const ThreadSpec& AppSpec::thread(const std::string& thread_name) const {
+  for (const auto& t : threads)
+    if (t.name == thread_name) return t;
+  throw std::out_of_range("app '" + name + "': no thread named '" + thread_name + "'");
+}
+
+unsigned AppSpec::hw_thread_count() const noexcept {
+  unsigned n = 0;
+  for (const auto& t : threads)
+    if (t.kind == ThreadKind::kHardware) ++n;
+  return n;
+}
+
+unsigned AppSpec::sw_thread_count() const noexcept {
+  unsigned n = 0;
+  for (const auto& t : threads)
+    if (t.kind == ThreadKind::kSoftware) ++n;
+  return n;
+}
+
+}  // namespace vmsls::sls

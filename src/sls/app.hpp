@@ -1,0 +1,88 @@
+// Application specification — the input to system-level synthesis.
+//
+// An application is a set of threads (each backed by a kernel in the IR,
+// marked hardware or software), named mailboxes/semaphores connecting
+// them, and named shared data buffers in the process address space. The
+// thread's kernel refers to mailbox/semaphore *local indices*; the spec
+// binds those to the named application objects, exactly as a ReconOS-style
+// thread declaration table does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwt/hw_port.hpp"
+#include "hwt/kernel.hpp"
+#include "mem/tlb.hpp"
+
+namespace vmsls::sls {
+
+enum class ThreadKind { kSoftware, kHardware };
+
+/// How a hardware thread addresses memory. kVirtual is the paper's
+/// contribution; kPhysical is the conventional pinned-buffer accelerator
+/// used by the DMA baseline.
+enum class Addressing { kVirtual, kPhysical };
+
+struct ThreadSpec {
+  std::string name;
+  ThreadKind kind = ThreadKind::kHardware;
+  Addressing addressing = Addressing::kVirtual;
+  hwt::Kernel kernel;
+  std::vector<std::string> mailbox_bindings;   // kernel mbox i -> app mailbox name
+  std::vector<std::string> semaphore_bindings;  // kernel sem i -> app semaphore name
+  std::optional<mem::TlbConfig> tlb_override;
+  std::optional<hwt::HwPortConfig> port_override;
+
+  /// Working-set hint for automatic TLB sizing (bytes the thread touches
+  /// repeatedly). Zero = unknown, use platform default geometry.
+  u64 footprint_hint_bytes = 0;
+
+  /// Enable the MMU's next-page TLB prefetcher for this thread.
+  bool prefetch_next_page = false;
+};
+
+struct MailboxSpec {
+  std::string name;
+  unsigned depth = 16;
+};
+
+struct SemaphoreSpec {
+  std::string name;
+  u64 initial = 0;
+};
+
+struct BufferSpec {
+  std::string name;
+  u64 bytes = 0;
+  bool pinned = true;  // eagerly mapped at load time vs demand-paged
+};
+
+struct AppSpec {
+  std::string name;
+  std::vector<ThreadSpec> threads;
+  std::vector<MailboxSpec> mailboxes;
+  std::vector<SemaphoreSpec> semaphores;
+  std::vector<BufferSpec> buffers;
+
+  ThreadSpec& add_hw_thread(std::string thread_name, hwt::Kernel kernel,
+                            std::vector<std::string> mbox_bindings = {},
+                            std::vector<std::string> sem_bindings = {});
+  ThreadSpec& add_sw_thread(std::string thread_name, hwt::Kernel kernel,
+                            std::vector<std::string> mbox_bindings = {},
+                            std::vector<std::string> sem_bindings = {});
+  void add_mailbox(std::string mbox_name, unsigned depth = 16);
+  void add_semaphore(std::string sem_name, u64 initial = 0);
+  void add_buffer(std::string buffer_name, u64 bytes, bool pinned = true);
+
+  /// Index lookups; throw std::out_of_range for unknown names.
+  unsigned mailbox_index(const std::string& mbox_name) const;
+  unsigned semaphore_index(const std::string& sem_name) const;
+  const ThreadSpec& thread(const std::string& thread_name) const;
+
+  unsigned hw_thread_count() const noexcept;
+  unsigned sw_thread_count() const noexcept;
+};
+
+}  // namespace vmsls::sls

@@ -1,0 +1,62 @@
+#include "sls/dse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmsls::sls {
+
+DesignSpaceExplorer::DesignSpaceExplorer(PlatformSpec platform, SynthesisOptions options)
+    : platform_(std::move(platform)), options_(options) {
+  // Infeasible candidates are data points, not errors, during exploration.
+  options_.strict_budget = false;
+}
+
+DseResult DesignSpaceExplorer::explore_tlb(const AppSpec& app, const std::string& thread,
+                                           const std::vector<unsigned>& entry_candidates,
+                                           const Evaluator& evaluate) {
+  require(!entry_candidates.empty(), "DSE needs at least one candidate");
+  app.thread(thread);  // throws for unknown thread names
+
+  DseResult result;
+  SynthesisFlow flow(platform_, options_);
+
+  for (unsigned entries : entry_candidates) {
+    AppSpec variant = app;
+    for (auto& t : variant.threads) {
+      if (t.name != thread) continue;
+      mem::TlbConfig tlb = t.tlb_override.value_or(platform_.default_tlb);
+      tlb.entries = entries;
+      tlb.ways = std::min(tlb.ways, entries);
+      while (entries % tlb.ways != 0) tlb.ways /= 2;  // keep geometry legal
+      t.tlb_override = tlb;
+    }
+
+    const SystemImage image = flow.synthesize(variant);
+    DseCandidate cand;
+    cand.tlb_entries = entries;
+    cand.total = image.report().total;
+    cand.resource_utilization = image.report().utilization;
+    cand.fits = image.report().fits_budget;
+    if (evaluate && cand.fits) {
+      cand.cycles = evaluate(image);
+      cand.measured = true;
+    }
+    result.candidates.push_back(cand);
+  }
+
+  // Pick the best point.
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const auto& c = result.candidates[i];
+    if (!c.fits) continue;
+    if (result.best < 0) {
+      result.best = static_cast<int>(i);
+      continue;
+    }
+    const auto& b = result.candidates[static_cast<std::size_t>(result.best)];
+    const bool better = c.measured ? (c.cycles < b.cycles) : (c.tlb_entries > b.tlb_entries);
+    if (better) result.best = static_cast<int>(i);
+  }
+  return result;
+}
+
+}  // namespace vmsls::sls

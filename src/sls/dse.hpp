@@ -1,0 +1,53 @@
+// Design-space exploration over interface-synthesis parameters.
+//
+// The flow's main tunable is each thread's TLB geometry: more entries cost
+// fabric resources but cut miss/walk traffic. The explorer synthesizes one
+// image per candidate, checks the resource budget, and (optionally) scores
+// candidates by running the elaborated system — the measure-everything
+// approach a simulator substrate makes cheap.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sls/synthesis.hpp"
+
+namespace vmsls::sls {
+
+struct DseCandidate {
+  unsigned tlb_entries = 0;
+  Resources total{};
+  double resource_utilization = 0.0;
+  bool fits = false;
+  bool measured = false;
+  Cycles cycles = 0;  // valid when measured
+};
+
+struct DseResult {
+  std::vector<DseCandidate> candidates;
+  /// Index into `candidates` of the chosen point: the fastest fitting
+  /// candidate when measured, otherwise the largest fitting TLB (monotone
+  /// miss-rate assumption). -1 if nothing fits.
+  int best = -1;
+};
+
+class DesignSpaceExplorer {
+ public:
+  /// Evaluator: builds a simulator, elaborates the image, runs the
+  /// workload, and returns the cycle count to minimize.
+  using Evaluator = std::function<Cycles(const SystemImage&)>;
+
+  explicit DesignSpaceExplorer(PlatformSpec platform, SynthesisOptions options = {});
+
+  /// Sweeps `thread`'s TLB size over `entry_candidates`.
+  DseResult explore_tlb(const AppSpec& app, const std::string& thread,
+                        const std::vector<unsigned>& entry_candidates,
+                        const Evaluator& evaluate = nullptr);
+
+ private:
+  PlatformSpec platform_;
+  SynthesisOptions options_;
+};
+
+}  // namespace vmsls::sls

@@ -1,0 +1,53 @@
+// Structural netlist produced by the synthesis flow.
+//
+// The flow emits a hierarchical instance list — thread wrappers, MMUs,
+// TLBs, the walker, interconnect, OS interfaces — with named connections,
+// plus a Verilog-flavored structural stub for inspection. This is the
+// artifact a real flow would hand to implementation; here it documents the
+// generated architecture and feeds the toolflow-statistics table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmsls::sls {
+
+struct NetlistConnection {
+  std::string port;  // formal port on the instance
+  std::string net;   // actual net name
+};
+
+struct NetlistInstance {
+  std::string name;    // instance name, e.g. "hwt_sort_0"
+  std::string module;  // module type, e.g. "vm_wrapper"
+  std::vector<NetlistConnection> connections;
+  std::vector<std::pair<std::string, std::string>> parameters;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string top_name);
+
+  NetlistInstance& add_instance(std::string instance, std::string module);
+  void add_net(std::string net);
+
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+  std::size_t net_count() const noexcept { return nets_.size(); }
+  const std::vector<NetlistInstance>& instances() const noexcept { return instances_; }
+  const std::string& top() const noexcept { return top_; }
+
+  const NetlistInstance* find(const std::string& instance) const;
+
+  /// Human-readable hierarchical listing.
+  std::string to_text() const;
+
+  /// Structural Verilog stub (module + wire decls + instantiations).
+  std::string to_verilog() const;
+
+ private:
+  std::string top_;
+  std::vector<NetlistInstance> instances_;
+  std::vector<std::string> nets_;
+};
+
+}  // namespace vmsls::sls

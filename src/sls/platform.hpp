@@ -1,0 +1,63 @@
+// Platform specification — the synthesis target.
+//
+// Bundles the FPGA part's resource budget with the configuration of every
+// system component the flow instantiates: DRAM and bus timing, page-table
+// geometry, the shared walker, per-thread TLB defaults, OS latencies, and
+// the host CPU model. Presets approximate Zynq-7000 SoCs.
+#pragma once
+
+#include <string>
+
+#include "cpu/cpu.hpp"
+#include "hwt/engine.hpp"
+#include "hwt/hw_port.hpp"
+#include "mem/bus.hpp"
+#include "mem/dram.hpp"
+#include "mem/pagetable.hpp"
+#include "mem/tlb.hpp"
+#include "mem/walker.hpp"
+#include "rt/os.hpp"
+#include "sls/resources.hpp"
+
+namespace vmsls::sls {
+
+struct PlatformSpec {
+  std::string name = "zynq7020";
+  double fabric_mhz = 200.0;
+  ResourceBudget budget{};
+  unsigned max_hw_threads = 8;
+
+  mem::DramConfig dram{};
+  mem::BusConfig bus{};
+  mem::PageTableConfig page_table{};
+  mem::WalkerConfig walker{};
+  mem::TlbConfig default_tlb{};
+  hwt::HwPortConfig default_port{};
+  hwt::CostModel hw_cost{};            // fabric datapath costs
+  rt::OsConfig os{};
+  cpu::CpuConfig cpu{};
+
+  Addr ctrl_base = 0x4000'0000;  // control-register window (metadata only)
+  u64 ctrl_stride = 0x1000;
+};
+
+/// Mid-size part: xc7z020 (Zedboard class).
+inline PlatformSpec zynq7020() {
+  PlatformSpec p;
+  p.name = "zynq7020";
+  p.budget = ResourceBudget{53200, 106400, 630.0, 220};
+  p.max_hw_threads = 8;
+  return p;
+}
+
+/// Large part: xc7z045 (ZC706 class).
+inline PlatformSpec zynq7045() {
+  PlatformSpec p;
+  p.name = "zynq7045";
+  p.budget = ResourceBudget{218600, 437200, 2385.0, 900};
+  p.max_hw_threads = 16;
+  p.dram.size_bytes = 1024 * MiB;
+  return p;
+}
+
+}  // namespace vmsls::sls

@@ -1,0 +1,68 @@
+#include "sls/report_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace vmsls::sls {
+
+void write_report_markdown(std::ostream& os, const SynthesisReport& report,
+                           const std::string& title) {
+  os << "# " << title << "\n\n";
+  os << "- hardware threads: " << report.hw_threads << "\n";
+  os << "- software threads: " << report.sw_threads << "\n";
+  os << "- fits budget: " << (report.fits_budget ? "yes" : "NO") << " (utilization "
+     << static_cast<int>(report.utilization * 100.0) << "% of the binding resource)\n";
+  os << "- netlist: " << report.netlist_instances << " instances, " << report.netlist_nets
+     << " nets\n";
+  if (!report.demoted_threads.empty()) {
+    os << "- demoted to software:";
+    for (const auto& t : report.demoted_threads) os << " " << t;
+    os << "\n";
+  }
+
+  os << "\n## Resources\n\n| component | LUT | FF | BRAM KB | DSP |\n|---|---|---|---|---|\n";
+  for (const auto& [name, r] : report.components)
+    os << "| " << name << " | " << r.luts << " | " << r.ffs << " | " << r.bram_kb << " | "
+       << r.dsps << " |\n";
+  const auto& s = report.static_resources;
+  os << "| static (walker+interconnect) | " << s.luts << " | " << s.ffs << " | " << s.bram_kb
+     << " | " << s.dsps << " |\n";
+  const auto& t = report.total;
+  os << "| **total** | " << t.luts << " | " << t.ffs << " | " << t.bram_kb << " | " << t.dsps
+     << " |\n";
+
+  os << "\n## Address map\n\n| component | base | size |\n|---|---|---|\n";
+  for (const auto& e : report.address_map)
+    os << "| " << e.component << " | 0x" << std::hex << e.base << std::dec << " | " << e.size
+       << " |\n";
+
+  os << "\n## Pass timings\n\n| pass | microseconds |\n|---|---|\n";
+  for (const auto& p : report.pass_timings) os << "| " << p.pass << " | " << p.microseconds
+                                               << " |\n";
+}
+
+void write_stats_csv(std::ostream& os, const StatRegistry& stats) {
+  os << "name,value\n";
+  for (const auto& [name, value] : stats.snapshot()) os << name << "," << value << "\n";
+}
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  return f;
+}
+}  // namespace
+
+void save_report_markdown(const std::string& path, const SynthesisReport& report,
+                          const std::string& title) {
+  auto f = open_or_throw(path);
+  write_report_markdown(f, report, title);
+}
+
+void save_stats_csv(const std::string& path, const StatRegistry& stats) {
+  auto f = open_or_throw(path);
+  write_stats_csv(f, stats);
+}
+
+}  // namespace vmsls::sls

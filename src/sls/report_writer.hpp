@@ -1,0 +1,31 @@
+// Persistence for toolflow and run artifacts.
+//
+// Writes the synthesis report as markdown and the statistics registry as
+// CSV — the artifacts a user archives next to a generated bitstream. The
+// bench harness can point these at files to keep machine-readable records
+// of every experiment run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sls/synthesis.hpp"
+#include "util/stats.hpp"
+
+namespace vmsls::sls {
+
+/// Markdown rendering of a synthesis report: summary, per-component
+/// resources, address map, and pass timings.
+void write_report_markdown(std::ostream& os, const SynthesisReport& report,
+                           const std::string& title);
+
+/// CSV of every counter and histogram summary in a registry
+/// (`name,value` rows; histograms contribute .count/.mean/.max).
+void write_stats_csv(std::ostream& os, const StatRegistry& stats);
+
+/// Convenience file writers; throw std::runtime_error on I/O failure.
+void save_report_markdown(const std::string& path, const SynthesisReport& report,
+                          const std::string& title);
+void save_stats_csv(const std::string& path, const StatRegistry& stats);
+
+}  // namespace vmsls::sls

@@ -1,0 +1,83 @@
+// FPGA resource estimation.
+//
+// The synthesis flow reports utilization the way an HLS/implementation
+// report would: LUTs, flip-flops, BRAM capacity, and DSP slices per
+// generated component, summed against the target part's budget. Cost
+// coefficients are calibrated to typical Zynq-7000-era component sizes
+// (AXI datamover ~1k LUT, small CAM-based TLBs tens of LUT/FF per entry,
+// one DSP48 per 32x32 multiplier); absolute numbers are estimates but the
+// *relative* costs — what the MMU adds per thread versus the kernel
+// datapath — are the quantity Table 1 reports.
+#pragma once
+
+#include <string>
+
+#include "hwt/hw_port.hpp"
+#include "hwt/kernel.hpp"
+#include "mem/tlb.hpp"
+#include "mem/walker.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::sls {
+
+struct Resources {
+  u64 luts = 0;
+  u64 ffs = 0;
+  double bram_kb = 0.0;
+  u64 dsps = 0;
+
+  Resources& operator+=(const Resources& o) noexcept {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram_kb += o.bram_kb;
+    dsps += o.dsps;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) noexcept { return a += b; }
+
+  Resources scaled(u64 n) const noexcept { return Resources{luts * n, ffs * n, bram_kb * n, dsps * n}; }
+
+  std::string to_string() const;
+};
+
+/// Capacity of the target part.
+struct ResourceBudget {
+  u64 luts = 53200;      // xc7z020 class
+  u64 ffs = 106400;
+  double bram_kb = 630;  // 140 x 36Kb blocks
+  u64 dsps = 220;
+};
+
+bool fits(const Resources& r, const ResourceBudget& b) noexcept;
+
+/// Fraction of the binding resource consumed (max over the four types).
+double utilization(const Resources& r, const ResourceBudget& b) noexcept;
+
+// --- per-component estimators -------------------------------------------
+
+/// Kernel datapath + control FSM synthesized from the IR (per-op instances,
+/// register file in LUTRAM, scratchpad in BRAM).
+Resources estimate_kernel(const hwt::Kernel& kernel);
+
+/// Per-thread TLB (CAM tags + PTE payload registers + control).
+Resources estimate_tlb(const mem::TlbConfig& tlb);
+
+/// Per-thread MMU front end (request mux, fault capture, retry buffer).
+Resources estimate_mmu_frontend();
+
+/// The shared page-table walker (+ optional walk cache).
+Resources estimate_walker(const mem::WalkerConfig& cfg);
+
+/// Per-thread bus master port (AXI burst engine), one per kernel port.
+Resources estimate_mem_port(const hwt::HwPortConfig& cfg);
+
+/// Per-thread OS interface (doorbell, argument mailbox FIFOs).
+Resources estimate_os_interface(unsigned mailboxes, unsigned semaphores);
+
+/// Shared interconnect, scaling with master count.
+Resources estimate_interconnect(unsigned masters);
+
+/// DMA engine (baseline system component).
+Resources estimate_dma_engine();
+
+}  // namespace vmsls::sls

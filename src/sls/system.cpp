@@ -1,0 +1,180 @@
+#include "sls/system.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmsls::sls {
+
+std::unique_ptr<System> SystemImage::elaborate(sim::Simulator& sim) const {
+  return std::make_unique<System>(sim, *this);
+}
+
+System::System(sim::Simulator& sim, const SystemImage& image) : sim_(sim), image_(image) {
+  const PlatformSpec& plat = image_.platform();
+  const AppSpec& app = image_.app();
+
+  // --- memory system ---
+  pm_ = std::make_unique<mem::PhysicalMemory>(plat.dram.size_bytes);
+  const u64 page = 1ull << plat.page_table.page_bits;
+  frames_ = std::make_unique<mem::FrameAllocator>(0, plat.dram.size_bytes / page, page);
+  dram_ = std::make_unique<mem::DramModel>(plat.dram, sim_.stats(), "dram");
+  bus_ = std::make_unique<mem::MemoryBus>(sim_, *dram_, plat.bus, "bus");
+  as_ = std::make_unique<mem::AddressSpace>(*pm_, *frames_, plat.page_table);
+  process_ = std::make_unique<rt::Process>(sim_, *as_, app.name);
+  walker_ = std::make_unique<mem::PageWalker>(sim_, *bus_, *pm_, as_->page_table(), plat.walker,
+                                              "walker");
+  process_->register_walker(walker_.get());
+
+  // --- OS model ---
+  os_ = std::make_unique<rt::OsModel>(sim_, plat.os, "os");
+  faults_ = std::make_unique<rt::FaultHandler>(sim_, *os_, *process_, "faults");
+
+  // --- application objects ---
+  for (const auto& m : app.mailboxes) process_->add_mailbox(m.depth, m.name);
+  for (const auto& s : app.semaphores) process_->add_semaphore(s.initial, s.name);
+  for (const auto& b : app.buffers) {
+    const VirtAddr va = as_->alloc(b.bytes, page);
+    buffers_[b.name] = va;
+    if (b.pinned) as_->populate(va, b.bytes);
+  }
+
+  // --- baseline DMA components ---
+  if (image_.options().include_dma) {
+    dma_ = std::make_unique<dma::DmaEngine>(sim_, *bus_, *pm_, dma::DmaConfig{}, "dma");
+    offload_ = std::make_unique<dma::OffloadDriver>(sim_, *os_, *process_, *dma_, *bus_, *pm_,
+                                                    dma::OffloadConfig{}, "offload");
+  }
+
+  // --- threads ---
+  // Follow the synthesis plans, not the spec's kind marks: the auto
+  // partitioner may have demoted hardware candidates to software.
+  for (const auto& plan : image_.hw_plans()) build_hw_thread(app.thread(plan.thread), plan);
+  for (const auto& plan : image_.sw_plans()) build_sw_thread(app.thread(plan.thread));
+}
+
+rt::OsBindings System::make_bindings(const ThreadSpec& spec) const {
+  rt::OsBindings b;
+  for (const auto& name : spec.mailbox_bindings)
+    b.mailboxes.push_back(image_.app().mailbox_index(name));
+  for (const auto& name : spec.semaphore_bindings)
+    b.semaphores.push_back(image_.app().semaphore_index(name));
+  return b;
+}
+
+void System::build_hw_thread(const ThreadSpec& spec, const HwThreadPlan& plan) {
+  const PlatformSpec& plat = image_.platform();
+  HwThread t;
+
+  mem::MmuConfig mmu_cfg;
+  mmu_cfg.tlb = plan.tlb;
+  mmu_cfg.translation_enabled = (plan.addressing == Addressing::kVirtual);
+  mmu_cfg.prefetch_next_page = spec.prefetch_next_page;
+  t.mmu = std::make_unique<mem::Mmu>(sim_, *walker_, mmu_cfg, "hwt." + spec.name + ".mmu",
+                                     plan.slot);
+  t.mmu->set_fault_sink(faults_.get());
+  process_->register_mmu(t.mmu.get());
+
+  const unsigned ports = std::max(1u, spec.kernel.iface.mem_ports);
+  for (unsigned p = 0; p < ports; ++p)
+    t.ports.push_back(std::make_unique<hwt::HwMemPort>(
+        sim_, *t.mmu, *bus_, *pm_, plan.port,
+        "hwt." + spec.name + ".port" + std::to_string(p)));
+
+  t.os_port = std::make_unique<rt::DelegateOsPort>(sim_, *os_, *process_,
+                                                   "hwt." + spec.name + ".osif");
+  t.os_port->set_bindings(make_bindings(spec));
+
+  hwt::EngineConfig ecfg;
+  ecfg.cost = plat.hw_cost;
+  t.engine = std::make_unique<hwt::Engine>(sim_, spec.kernel, ecfg, "hwt." + spec.name);
+  for (unsigned p = 0; p < ports; ++p) t.engine->attach_mem_port(p, t.ports[p].get());
+  t.engine->attach_os_port(t.os_port.get());
+
+  hw_.emplace(spec.name, std::move(t));
+}
+
+void System::build_sw_thread(const ThreadSpec& spec) {
+  const PlatformSpec& plat = image_.platform();
+  SwThread t;
+
+  t.caches = std::make_unique<mem::CacheHierarchy>(sim_, *bus_, plat.cpu.caches,
+                                                   "swt." + spec.name + ".cache");
+  t.port = std::make_unique<cpu::CachedMemPort>(sim_, *as_, *t.caches,
+                                                "swt." + spec.name + ".port");
+  t.os_port = std::make_unique<rt::DirectOsPort>(sim_, plat.os, *process_,
+                                                 "swt." + spec.name + ".osif");
+  t.os_port->set_bindings(make_bindings(spec));
+
+  t.engine = std::make_unique<hwt::Engine>(sim_, spec.kernel, cpu::engine_config(plat.cpu),
+                                           "swt." + spec.name);
+  const unsigned ports = std::max(1u, spec.kernel.iface.mem_ports);
+  for (unsigned p = 0; p < ports; ++p) t.engine->attach_mem_port(p, t.port.get());
+  t.engine->attach_os_port(t.os_port.get());
+
+  sw_.emplace(spec.name, std::move(t));
+}
+
+hwt::Engine& System::engine(const std::string& thread) {
+  if (auto it = hw_.find(thread); it != hw_.end()) return *it->second.engine;
+  if (auto it = sw_.find(thread); it != sw_.end()) return *it->second.engine;
+  throw std::out_of_range("no thread named '" + thread + "'");
+}
+
+mem::Mmu& System::mmu(const std::string& thread) {
+  auto it = hw_.find(thread);
+  if (it == hw_.end()) throw std::out_of_range("no hardware thread named '" + thread + "'");
+  return *it->second.mmu;
+}
+
+mem::CacheHierarchy& System::caches(const std::string& thread) {
+  auto it = sw_.find(thread);
+  if (it == sw_.end()) throw std::out_of_range("no software thread named '" + thread + "'");
+  return *it->second.caches;
+}
+
+dma::DmaEngine& System::dma_engine() {
+  if (!dma_) throw std::logic_error("system was synthesized without the DMA engine");
+  return *dma_;
+}
+
+dma::OffloadDriver& System::offload() {
+  if (!offload_) throw std::logic_error("system was synthesized without the offload driver");
+  return *offload_;
+}
+
+VirtAddr System::buffer(const std::string& name) const {
+  auto it = buffers_.find(name);
+  if (it == buffers_.end()) throw std::out_of_range("no buffer named '" + name + "'");
+  return it->second;
+}
+
+void System::start_thread(const std::string& thread) {
+  auto& eng = engine(thread);
+  ++running_;
+  ++started_;
+  // A small launch cost: writing the start doorbell via the control bus.
+  eng.start([this] { --running_; }, /*start_delay=*/8);
+}
+
+void System::start_all() {
+  for (const auto& spec : image_.app().threads) start_thread(spec.name);
+}
+
+Cycles System::run_to_completion(Cycles max_cycles) {
+  const Cycles t0 = sim_.now();
+  while (!all_halted()) {
+    if (!sim_.step()) {
+      std::string blocked;
+      for (const auto& [name, t] : hw_)
+        if (t.engine->running()) blocked += " " + name;
+      for (const auto& [name, t] : sw_)
+        if (t.engine->running()) blocked += " " + name;
+      throw std::runtime_error("deadlock: event queue empty with threads blocked:" + blocked);
+    }
+    if (sim_.now() - t0 > max_cycles)
+      throw std::runtime_error("simulation exceeded " + std::to_string(max_cycles) + " cycles");
+  }
+  return sim_.now() - t0;
+}
+
+}  // namespace vmsls::sls

@@ -1,0 +1,115 @@
+// The elaborated system: a SystemImage instantiated on the simulator.
+//
+// Owns every component of the simulated SoC — physical memory, DRAM/bus
+// models, the process address space and page tables, the shared walker,
+// per-thread MMUs/ports/engines, the OS model with delegate threads and
+// the fault handler, and (optionally) the DMA engine + offload driver.
+// This is the "board" the paper's evaluation runs on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cached_port.hpp"
+#include "dma/offload.hpp"
+#include "hwt/engine.hpp"
+#include "hwt/hw_port.hpp"
+#include "mem/address_space.hpp"
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/mmu.hpp"
+#include "mem/physmem.hpp"
+#include "mem/walker.hpp"
+#include "rt/os.hpp"
+#include "rt/process.hpp"
+#include "sls/synthesis.hpp"
+
+namespace vmsls::sls {
+
+class System {
+ public:
+  System(sim::Simulator& sim, const SystemImage& image);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // --- component access ---
+  sim::Simulator& simulator() noexcept { return sim_; }
+  rt::Process& process() noexcept { return *process_; }
+  mem::AddressSpace& address_space() noexcept { return *as_; }
+  mem::MemoryBus& bus() noexcept { return *bus_; }
+  mem::PageWalker& walker() noexcept { return *walker_; }
+  mem::PhysicalMemory& physical_memory() noexcept { return *pm_; }
+  rt::OsModel& os() noexcept { return *os_; }
+  rt::FaultHandler& fault_handler() noexcept { return *faults_; }
+
+  hwt::Engine& engine(const std::string& thread);
+  mem::Mmu& mmu(const std::string& thread);  // hardware threads only
+  mem::CacheHierarchy& caches(const std::string& thread);  // software threads only
+
+  /// DMA baseline components (present when synthesized with include_dma).
+  dma::DmaEngine& dma_engine();
+  dma::OffloadDriver& offload();
+
+  /// Virtual address of a named application buffer.
+  VirtAddr buffer(const std::string& name) const;
+
+  // --- execution control ---
+  void start_thread(const std::string& thread);
+  void start_all();
+
+  bool all_halted() const noexcept { return running_ == 0 && started_ > 0; }
+  unsigned threads_running() const noexcept { return running_; }
+
+  /// Runs the simulation until every started thread halts. Throws on
+  /// deadlock (event queue drained with threads blocked) or when `max`
+  /// cycles elapse. Returns cycles elapsed since the call.
+  Cycles run_to_completion(Cycles max_cycles = 2'000'000'000ull);
+
+  const SystemImage& image() const noexcept { return image_; }
+
+ private:
+  struct HwThread {
+    std::unique_ptr<mem::Mmu> mmu;
+    std::vector<std::unique_ptr<hwt::HwMemPort>> ports;
+    std::unique_ptr<rt::DelegateOsPort> os_port;
+    std::unique_ptr<hwt::Engine> engine;
+  };
+  struct SwThread {
+    std::unique_ptr<mem::CacheHierarchy> caches;
+    std::unique_ptr<cpu::CachedMemPort> port;
+    std::unique_ptr<rt::DirectOsPort> os_port;
+    std::unique_ptr<hwt::Engine> engine;
+  };
+
+  void build_hw_thread(const ThreadSpec& spec, const HwThreadPlan& plan);
+  void build_sw_thread(const ThreadSpec& spec);
+  rt::OsBindings make_bindings(const ThreadSpec& spec) const;
+
+  sim::Simulator& sim_;
+  SystemImage image_;
+
+  std::unique_ptr<mem::PhysicalMemory> pm_;
+  std::unique_ptr<mem::FrameAllocator> frames_;
+  std::unique_ptr<mem::DramModel> dram_;
+  std::unique_ptr<mem::MemoryBus> bus_;
+  std::unique_ptr<mem::AddressSpace> as_;
+  std::unique_ptr<rt::Process> process_;
+  std::unique_ptr<mem::PageWalker> walker_;
+  std::unique_ptr<rt::OsModel> os_;
+  std::unique_ptr<rt::FaultHandler> faults_;
+  std::unique_ptr<dma::DmaEngine> dma_;
+  std::unique_ptr<dma::OffloadDriver> offload_;
+
+  std::map<std::string, HwThread> hw_;
+  std::map<std::string, SwThread> sw_;
+  std::map<std::string, VirtAddr> buffers_;
+
+  unsigned running_ = 0;
+  unsigned started_ = 0;
+};
+
+}  // namespace vmsls::sls

@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace vmsls {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() noexcept { return g_level; }
+void Logger::set_level(LogLevel level) noexcept { g_level = level; }
+
+void Logger::write(LogLevel level, const std::string& who, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_name(level) << "] " << who << ": " << msg << "\n";
+}
+
+}  // namespace vmsls

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger is
+// deliberately simple: a process-wide level and an ostream sink. Components
+// tag messages with their instance name.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vmsls {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Writes one formatted line ("[level] who: msg") to the sink if `level`
+  /// is at or above the global threshold.
+  static void write(LogLevel level, const std::string& who, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const std::string& who, Args&&... args) {
+  if (Logger::level() <= LogLevel::kDebug)
+    Logger::write(LogLevel::kDebug, who, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(const std::string& who, Args&&... args) {
+  if (Logger::level() <= LogLevel::kInfo)
+    Logger::write(LogLevel::kInfo, who, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(const std::string& who, Args&&... args) {
+  if (Logger::level() <= LogLevel::kWarn)
+    Logger::write(LogLevel::kWarn, who, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(const std::string& who, Args&&... args) {
+  if (Logger::level() <= LogLevel::kError)
+    Logger::write(LogLevel::kError, who, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace vmsls

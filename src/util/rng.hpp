@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic behaviour in the simulator and the workload generators goes
+// through this generator so runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace vmsls {
+
+/// xoshiro256** by Blackman & Vigna — fast, high quality, and trivially
+/// seedable; we avoid std::mt19937 so streams are identical across standard
+/// library implementations.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    // SplitMix64 expansion of the seed into the full state.
+    u64 z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  u64 below(u64 bound) noexcept {
+    if (bound == 0) return 0;
+    // Multiply-shift rejection-free mapping (slight modulo bias is
+    // irrelevant for workload generation but we use 128-bit math to avoid
+    // the worst of it).
+    return static_cast<u64>((static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) noexcept { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+}  // namespace vmsls

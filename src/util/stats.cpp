@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+namespace vmsls {
+
+void Histogram::record(u64 value) noexcept {
+  unsigned bucket = value == 0 ? 0 : log2i(value) + 1;
+  if (bucket >= buckets_.size()) bucket = static_cast<unsigned>(buckets_.size()) - 1;
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+u64 Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const u64 target = static_cast<u64>(q * static_cast<double>(count_));
+  u64 seen = 0;
+  for (unsigned b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > target) return b == 0 ? 0 : (1ull << b) - 1;  // bucket upper bound
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+Counter& StatRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Histogram& StatRegistry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(name, Histogram{}).first;
+  return it->second;
+}
+
+std::map<std::string, double> StatRegistry::snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out[name] = static_cast<double>(c.value());
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = static_cast<double>(h.count());
+    out[name + ".mean"] = h.mean();
+    out[name + ".max"] = static_cast<double>(h.max());
+  }
+  return out;
+}
+
+u64 StatRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool StatRegistry::has_counter(const std::string& name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+void StatRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace vmsls

@@ -1,0 +1,80 @@
+// Statistics collection.
+//
+// Every simulated component owns named counters registered in a StatRegistry
+// so experiments can dump a flat name -> value map after a run. Histograms
+// record latency distributions (page walks, fault service, bus queueing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace vmsls {
+
+/// A monotonically increasing named counter. Cheap enough to bump per event.
+class Counter {
+ public:
+  void add(u64 v = 1) noexcept { value_ += v; }
+  void reset() noexcept { value_ = 0; }
+  u64 value() const noexcept { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Fixed-bucket histogram with power-of-two bucket boundaries, suited to
+/// latency distributions spanning several orders of magnitude.
+class Histogram {
+ public:
+  explicit Histogram(unsigned num_buckets = 32) : buckets_(num_buckets, 0) {}
+
+  void record(u64 value) noexcept;
+
+  u64 count() const noexcept { return count_; }
+  u64 sum() const noexcept { return sum_; }
+  u64 min() const noexcept { return count_ == 0 ? 0 : min_; }
+  u64 max() const noexcept { return max_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+
+  /// Value below which `q` (0..1) of the samples fall, resolved to bucket
+  /// upper bounds (approximate, sufficient for reporting).
+  u64 percentile(double q) const noexcept;
+
+  const std::vector<u64>& buckets() const noexcept { return buckets_; }
+  void reset() noexcept;
+
+ private:
+  std::vector<u64> buckets_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~0ull;
+  u64 max_ = 0;
+};
+
+/// Flat registry mapping "component.stat" names to counters/histograms.
+/// Components hold references to entries they create; the registry owns them.
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot of all counter values (histograms contribute .count/.mean/.max).
+  std::map<std::string, double> snapshot() const;
+
+  u64 counter_value(const std::string& name) const;
+  bool has_counter(const std::string& name) const;
+
+  void reset();
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vmsls

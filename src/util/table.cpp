@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace vmsls {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_bytes(u64 bytes) {
+  std::ostringstream os;
+  if (bytes >= GiB && bytes % GiB == 0)
+    os << bytes / GiB << " GiB";
+  else if (bytes >= MiB && bytes % MiB == 0)
+    os << bytes / MiB << " MiB";
+  else if (bytes >= KiB && bytes % KiB == 0)
+    os << bytes / KiB << " KiB";
+  else
+    os << bytes << " B";
+  return os.str();
+}
+
+}  // namespace vmsls

@@ -1,0 +1,37 @@
+// Aligned text tables and CSV emission for experiment harnesses.
+//
+// Every bench binary prints its paper table/figure series through this class
+// so output formatting is uniform and machine-scrapable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vmsls {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with sensible precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Renders with column alignment and a separator rule under the header.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Comma-separated form (header + rows), for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vmsls

@@ -1,0 +1,158 @@
+// Breadth-first search over a CSR graph (queue-based, in-kernel).
+//
+// The most irregular workload in the suite: data-dependent loads into the
+// adjacency, distance, and queue arrays with no tiling opportunity. This is
+// the kind of traversal that is essentially unprogrammable in a copy-based
+// offload model without shipping the whole graph — the paper's strongest
+// motivating case after raw pointer chasing.
+
+#include <deque>
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg APTR = 1, ADJ = 2, DIST = 3, QUEUE = 4, NV = 5, SRC = 6;
+constexpr hwt::Reg HEAD = 7, TAIL = 8, U = 9, DU = 10, E = 11, END = 12;
+constexpr hwt::Reg V = 13, DV = 14, T0 = 15, T1 = 16, ADDR = 17, MINUS1 = 18;
+
+struct Graph {
+  std::vector<i64> adj_ptr;  // n + 1
+  std::vector<i64> adj;
+  std::vector<i64> expected_dist;  // -1 for unreachable
+  u64 src = 0;
+};
+
+Graph gen_graph(const WorkloadParams& p) {
+  Rng rng(p.seed * 0xa0761d6478bd642full + 19);
+  Graph g;
+  const u64 n = p.n;
+  // Random sparse digraph, average out-degree 4; a spine edge i -> i+1 for
+  // the first half keeps a large reachable component.
+  std::vector<std::vector<i64>> out(n);
+  for (u64 i = 0; i + 1 < n / 2; ++i) out[i].push_back(static_cast<i64>(i + 1));
+  const u64 extra = 3 * n;
+  for (u64 e = 0; e < extra; ++e)
+    out[rng.below(n)].push_back(static_cast<i64>(rng.below(n)));
+
+  g.adj_ptr.resize(n + 1);
+  g.adj_ptr[0] = 0;
+  for (u64 i = 0; i < n; ++i) {
+    g.adj_ptr[i + 1] = g.adj_ptr[i] + static_cast<i64>(out[i].size());
+    for (i64 v : out[i]) g.adj.push_back(v);
+  }
+
+  g.src = 0;
+  g.expected_dist.assign(n, -1);
+  std::deque<u64> q;
+  g.expected_dist[g.src] = 0;
+  q.push_back(g.src);
+  while (!q.empty()) {
+    const u64 u = q.front();
+    q.pop_front();
+    for (i64 e = g.adj_ptr[u]; e < g.adj_ptr[u + 1]; ++e) {
+      const u64 v = static_cast<u64>(g.adj[static_cast<u64>(e)]);
+      if (g.expected_dist[v] == -1) {
+        g.expected_dist[v] = g.expected_dist[u] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+}  // namespace
+
+Workload make_bfs(const WorkloadParams& p) {
+  require(p.n >= 2, "bfs needs at least two vertices");
+  const Graph shape = gen_graph(p);
+  const u64 m = shape.adj.size();
+
+  hwt::KernelBuilder kb("bfs");
+  kb.mbox_get(APTR, 0)
+      .mbox_get(ADJ, 0)
+      .mbox_get(DIST, 0)
+      .mbox_get(QUEUE, 0)
+      .mbox_get(NV, 0)
+      .mbox_get(SRC, 0)
+      .li(MINUS1, -1)
+      // dist[src] = 0; queue[0] = src; head = 0; tail = 1.
+      .shli(ADDR, SRC, 3)
+      .add(ADDR, ADDR, DIST)
+      .li(T0, 0)
+      .store(ADDR, T0)
+      .store(QUEUE, SRC)
+      .li(HEAD, 0)
+      .li(TAIL, 1)
+      .label("loop")
+      .slt(T0, HEAD, TAIL)
+      .beqz(T0, "exit")
+      // u = queue[head++]
+      .shli(ADDR, HEAD, 3)
+      .add(ADDR, ADDR, QUEUE)
+      .load(U, ADDR)
+      .addi(HEAD, HEAD, 1)
+      // du = dist[u]
+      .shli(ADDR, U, 3)
+      .add(ADDR, ADDR, DIST)
+      .load(DU, ADDR)
+      // e = adj_ptr[u]; end = adj_ptr[u+1]
+      .shli(ADDR, U, 3)
+      .add(ADDR, ADDR, APTR)
+      .load(E, ADDR)
+      .load(END, ADDR, 8)
+      .label("edges")
+      .slt(T0, E, END)
+      .beqz(T0, "loop")
+      // v = adj[e]
+      .shli(ADDR, E, 3)
+      .add(ADDR, ADDR, ADJ)
+      .load(V, ADDR)
+      // dv = dist[v]
+      .shli(ADDR, V, 3)
+      .add(ADDR, ADDR, DIST)
+      .load(DV, ADDR)
+      .sne(T1, DV, MINUS1)
+      .bnez(T1, "next_edge")
+      // discover: dist[v] = du + 1; queue[tail++] = v
+      .addi(T0, DU, 1)
+      .store(ADDR, T0)  // ADDR still &dist[v]
+      .shli(ADDR, TAIL, 3)
+      .add(ADDR, ADDR, QUEUE)
+      .store(ADDR, V)
+      .addi(TAIL, TAIL, 1)
+      .label("next_edge")
+      .addi(E, E, 1)
+      .jmp("edges")
+      .label("exit")
+      .mbox_put(1, TAIL)
+      .halt();
+
+  Workload w;
+  w.name = "bfs";
+  w.kernel = kb.build();
+  w.buffers = {{"adj_ptr", (p.n + 1) * 8, true},
+               {"adj", m * 8, true},
+               {"dist", p.n * 8, true},
+               {"queue", p.n * 8, true}};
+  w.footprint_hint_bytes = (2 * p.n + m) * 8;
+  w.setup = [p](sls::System& sys) {
+    const Graph g = gen_graph(p);
+    write_i64(sys, sys.buffer("adj_ptr"), g.adj_ptr);
+    write_i64(sys, sys.buffer("adj"), g.adj);
+    write_i64(sys, sys.buffer("dist"), std::vector<i64>(p.n, -1));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("adj_ptr")), static_cast<i64>(sys.buffer("adj")),
+               static_cast<i64>(sys.buffer("dist")), static_cast<i64>(sys.buffer("queue")),
+               static_cast<i64>(p.n), static_cast<i64>(g.src)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const Graph g = gen_graph(p);
+    return read_i64(sys, sys.buffer("dist"), p.n) == g.expected_dist;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,66 @@
+#include <stdexcept>
+
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+void write_i64(sls::System& sys, VirtAddr va, const std::vector<i64>& values) {
+  auto& as = sys.address_space();
+  as.write(va, std::span<const u8>(reinterpret_cast<const u8*>(values.data()),
+                                   values.size() * sizeof(i64)));
+}
+
+std::vector<i64> read_i64(sls::System& sys, VirtAddr va, u64 count) {
+  std::vector<i64> out(count);
+  sys.address_space().read(
+      va, std::span<u8>(reinterpret_cast<u8*>(out.data()), out.size() * sizeof(i64)));
+  return out;
+}
+
+void push_args(sls::System& sys, const std::string& mailbox, const std::vector<i64>& args) {
+  const unsigned idx = sys.image().app().mailbox_index(mailbox);
+  auto& mbox = sys.process().mailbox(idx);
+  require(args.size() <= mbox.depth(), "argument list exceeds mailbox depth");
+  for (i64 a : args) mbox.put(a, [] {});
+}
+
+sls::AppSpec single_thread_app(const Workload& w, sls::ThreadKind kind,
+                               sls::Addressing addressing, bool pinned_buffers) {
+  sls::AppSpec app;
+  app.name = w.name;
+  app.add_mailbox("args", 16);
+  app.add_mailbox("done", 4);
+  for (auto buf : w.buffers) {
+    buf.pinned = pinned_buffers && buf.pinned;
+    app.buffers.push_back(buf);
+  }
+  sls::ThreadSpec& t = (kind == sls::ThreadKind::kHardware)
+                           ? app.add_hw_thread("worker", w.kernel, {"args", "done"})
+                           : app.add_sw_thread("worker", w.kernel, {"args", "done"});
+  t.addressing = (kind == sls::ThreadKind::kHardware) ? addressing : sls::Addressing::kVirtual;
+  t.footprint_hint_bytes = w.footprint_hint_bytes;
+  return app;
+}
+
+std::vector<std::string> workload_names() {
+  return {"vecadd",        "vecadd_burst", "saxpy", "saxpy_burst", "matmul", "conv2d",
+          "pointer_chase", "hash_join",    "spmv",  "histogram",   "merge",  "bfs"};
+}
+
+Workload make_workload(const std::string& name, const WorkloadParams& p) {
+  if (name == "vecadd") return make_vecadd(p);
+  if (name == "vecadd_burst") return make_vecadd_burst(p);
+  if (name == "saxpy") return make_saxpy(p);
+  if (name == "saxpy_burst") return make_saxpy_burst(p);
+  if (name == "matmul") return make_matmul(p);
+  if (name == "conv2d") return make_conv2d(p);
+  if (name == "pointer_chase") return make_pointer_chase(p);
+  if (name == "hash_join") return make_hash_join(p);
+  if (name == "spmv") return make_spmv(p);
+  if (name == "histogram") return make_histogram(p);
+  if (name == "merge") return make_merge(p);
+  if (name == "bfs") return make_bfs(p);
+  throw std::out_of_range("unknown workload '" + name + "'");
+}
+
+}  // namespace vmsls::workloads

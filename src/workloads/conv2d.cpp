@@ -1,0 +1,157 @@
+// 3x3 convolution (integer Gaussian blur) over an n x n image.
+//
+// Per output row the kernel bursts three input rows into the scratchpad,
+// computes the interior of the output row out of BRAM, and bursts it back.
+// Borders are written as zero. The demand-paging residency experiment uses
+// this workload: its page-sequential access pattern amortizes fault costs
+// through spatial locality.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg IN = 1, OUT = 2, N = 3;  // args: in, out, n (image is n x n, 8 B pixels)
+constexpr hwt::Reg Y = 4, X = 5, T0 = 6;
+constexpr hwt::Reg ROWB = 10, OFF_R0 = 11, OFF_R1 = 12, OFF_R2 = 13, OFF_O = 14;
+constexpr hwt::Reg ACC = 15, V = 16, KOFF = 17, PIN = 18, POUT = 19, NM1 = 20, XB = 21;
+
+std::vector<i64> gen_image(u64 n, u64 seed) {
+  Rng rng(seed * 0x5851f42d4c957f2dull + 13);
+  std::vector<i64> img(n * n);
+  for (auto& e : img) e = static_cast<i64>(rng.below(256));
+  return img;
+}
+
+std::vector<i64> golden_blur(const std::vector<i64>& img, u64 n) {
+  // Weights: [1 2 1; 2 4 2; 1 2 1], normalized by >> 4.
+  std::vector<i64> out(n * n, 0);
+  static constexpr int w[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+  for (u64 y = 1; y + 1 < n; ++y)
+    for (u64 x = 1; x + 1 < n; ++x) {
+      i64 acc = 0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+          acc += w[dy + 1][dx + 1] *
+                 img[(y + static_cast<u64>(dy)) * n + (x + static_cast<u64>(dx))];
+      out[y * n + x] = acc >> 4;
+    }
+  return out;
+}
+
+/// Emits ACC += weight * spad[row_off + (x + dx) * 8].
+void emit_tap(hwt::KernelBuilder& kb, hwt::Reg row_off, int dx, int weight) {
+  kb.addi(KOFF, XB, dx * 8).add(KOFF, KOFF, row_off).spad_load(V, KOFF);
+  if (weight == 2)
+    kb.shli(V, V, 1);
+  else if (weight == 4)
+    kb.shli(V, V, 2);
+  kb.add(ACC, ACC, V);
+}
+}  // namespace
+
+Workload make_conv2d(const WorkloadParams& p) {
+  const u64 n = p.n;
+  require(n >= 4, "conv2d needs n >= 4");
+  const i64 row_bytes = static_cast<i64>(n * 8);
+  require(4 * n * 8 <= 48 * KiB, "conv2d rows exceed the scratchpad budget");
+
+  // Scratchpad: rows y-1, y, y+1, then the output row.
+  hwt::KernelBuilder kb("conv2d", static_cast<u32>(4 * row_bytes));
+  kb.mbox_get(IN, 0)
+      .mbox_get(OUT, 0)
+      .mbox_get(N, 0)
+      .li(ROWB, row_bytes)
+      .li(OFF_R0, 0)
+      .li(OFF_R1, row_bytes)
+      .li(OFF_R2, 2 * row_bytes)
+      .li(OFF_O, 3 * row_bytes)
+      .addi(NM1, N, -1)
+      // Zero the first and last output rows (borders).
+      .li(X, 0)
+      .label("zero_border")
+      .seq(T0, X, ROWB)
+      .bnez(T0, "zero_done")
+      .li(V, 0)
+      .add(KOFF, X, OFF_O)
+      .spad_store(KOFF, V)
+      .addi(X, X, 8)
+      .jmp("zero_border")
+      .label("zero_done")
+      .burst_store(OUT, OFF_O, ROWB)  // first row
+      .muli(T0, NM1, 8)
+      .mul(T0, T0, N)
+      .add(POUT, OUT, T0)
+      .burst_store(POUT, OFF_O, ROWB)  // last row
+      // Main loop over interior output rows.
+      .mov(PIN, IN)
+      .add(POUT, OUT, ROWB)
+      .li(Y, 1)
+      .label("rows")
+      .seq(T0, Y, NM1)
+      .bnez(T0, "exit")
+      .burst_load(OFF_R0, PIN, ROWB)
+      .add(T0, PIN, ROWB)
+      .burst_load(OFF_R1, T0, ROWB)
+      .add(T0, T0, ROWB)
+      .burst_load(OFF_R2, T0, ROWB)
+      // Border pixels of this row are zero.
+      .li(V, 0)
+      .spad_store(OFF_O, V, 0)
+      .addi(KOFF, ROWB, -8)
+      .add(KOFF, KOFF, OFF_O)
+      .spad_store(KOFF, V)
+      .li(X, 1)
+      .label("cols");
+  {
+    kb.seq(T0, X, NM1)
+        .bnez(T0, "cols_done")
+        .shli(XB, X, 3)
+        .li(ACC, 0);
+    emit_tap(kb, OFF_R0, -1, 1);
+    emit_tap(kb, OFF_R0, 0, 2);
+    emit_tap(kb, OFF_R0, 1, 1);
+    emit_tap(kb, OFF_R1, -1, 2);
+    emit_tap(kb, OFF_R1, 0, 4);
+    emit_tap(kb, OFF_R1, 1, 2);
+    emit_tap(kb, OFF_R2, -1, 1);
+    emit_tap(kb, OFF_R2, 0, 2);
+    emit_tap(kb, OFF_R2, 1, 1);
+    kb.shri(ACC, ACC, 4)
+        .add(KOFF, XB, OFF_O)
+        .spad_store(KOFF, ACC)
+        .addi(X, X, 1)
+        .jmp("cols")
+        .label("cols_done")
+        .burst_store(POUT, OFF_O, ROWB)
+        .add(PIN, PIN, ROWB)
+        .add(POUT, POUT, ROWB)
+        .addi(Y, Y, 1)
+        .jmp("rows")
+        .label("exit")
+        .mbox_put(1, Y)
+        .halt();
+  }
+
+  Workload w;
+  w.name = "conv2d";
+  w.kernel = kb.build();
+  w.buffers = {{"in", n * n * 8, true}, {"out", n * n * 8, true}};
+  w.footprint_hint_bytes = 2 * n * n * 8;
+  w.setup = [p, n](sls::System& sys) {
+    write_i64(sys, sys.buffer("in"), gen_image(n, p.seed));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("in")), static_cast<i64>(sys.buffer("out")),
+               static_cast<i64>(n)});
+  };
+  w.verify = [p, n](sls::System& sys) {
+    const auto golden = golden_blur(gen_image(n, p.seed), n);
+    const auto out = read_i64(sys, sys.buffer("out"), n * n);
+    return out == golden;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,153 @@
+// Hash-join probe: look up n keys in an open-addressing hash table.
+//
+// The sparse-access workload of the SVM-vs-DMA crossover: each probe lands
+// on a random table slot, so a copy-based offload must ship the entire
+// table while the virtual-memory thread touches only the slots it needs.
+// Table slots are 16 B {key, value}; key 0 marks an empty slot; collisions
+// resolve by linear probing.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg TAB = 1, KEYS = 2, OUT = 3, NKEYS = 4, MASK = 5;
+constexpr hwt::Reg I = 6, KEY = 7, H = 8, SLOT = 9, SK = 10, V = 11, T0 = 12;
+constexpr i64 kMul = 2654435761;  // Knuth multiplicative hash
+
+struct JoinData {
+  u64 slots = 0;  // power of two
+  std::vector<i64> table;  // slots * 2 words: {key, value}
+  std::vector<i64> keys;   // probe keys (~50% present)
+  std::vector<i64> expected;
+};
+
+u64 hash_of(i64 key, u64 mask) {
+  const u64 h = (static_cast<u64>(key) * static_cast<u64>(kMul)) >> 16;
+  return h & mask;
+}
+
+JoinData gen_join(const WorkloadParams& p) {
+  Rng rng(p.seed * 0xd6e8feb86659fd93ull + 7);
+  JoinData d;
+  const u64 build_n = p.aux ? p.aux : p.n;  // table occupancy 25%
+  u64 slots = 4;
+  while (slots < 4 * build_n) slots <<= 1;
+  d.slots = slots;
+  d.table.assign(slots * 2, 0);
+  const u64 mask = slots - 1;
+
+  std::vector<i64> present;
+  for (u64 i = 0; i < build_n; ++i) {
+    const i64 key = static_cast<i64>(rng.range(1, (1u << 30)));
+    const i64 value = static_cast<i64>(rng.below(1u << 20)) + 1;
+    u64 idx = hash_of(key, mask);
+    bool duplicate = false;
+    while (d.table[idx * 2] != 0) {
+      if (d.table[idx * 2] == key) {
+        duplicate = true;
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (duplicate) continue;
+    d.table[idx * 2] = key;
+    d.table[idx * 2 + 1] = value;
+    present.push_back(key);
+  }
+
+  d.keys.resize(p.n);
+  for (auto& k : d.keys) {
+    if (!present.empty() && rng.chance(0.5))
+      k = present[rng.below(present.size())];
+    else
+      k = static_cast<i64>(rng.range(1u << 30, (1ull << 31)));  // disjoint range: miss
+  }
+
+  d.expected.resize(p.n);
+  for (u64 i = 0; i < p.n; ++i) {
+    u64 idx = hash_of(d.keys[i], mask);
+    i64 found = 0;
+    while (d.table[idx * 2] != 0) {
+      if (d.table[idx * 2] == d.keys[i]) {
+        found = d.table[idx * 2 + 1];
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    d.expected[i] = found;
+  }
+  return d;
+}
+}  // namespace
+
+Workload make_hash_join(const WorkloadParams& p) {
+  require(p.n >= 1, "hash_join needs at least one key");
+  const JoinData shape = gen_join(p);  // sized here; regenerated in setup/verify
+
+  hwt::KernelBuilder kb("hash_join");
+  kb.mbox_get(TAB, 0)
+      .mbox_get(KEYS, 0)
+      .mbox_get(OUT, 0)
+      .mbox_get(NKEYS, 0)
+      .mbox_get(MASK, 0)
+      .li(I, 0)
+      .label("loop")
+      .seq(T0, I, NKEYS)
+      .bnez(T0, "exit")
+      .load(KEY, KEYS)
+      .muli(H, KEY, kMul)
+      .shri(H, H, 16)
+      .and_(H, H, MASK)
+      .label("probe")
+      .shli(SLOT, H, 4)    // slot byte offset (16 B slots)
+      .add(SLOT, SLOT, TAB)
+      .load(SK, SLOT)      // slot key
+      .beqz(SK, "miss")
+      .seq(T0, SK, KEY)
+      .bnez(T0, "hit")
+      .addi(H, H, 1)
+      .and_(H, H, MASK)
+      .jmp("probe")
+      .label("hit")
+      .load(V, SLOT, 8)
+      .store(OUT, V)
+      .jmp("next")
+      .label("miss")
+      .li(V, 0)
+      .store(OUT, V)
+      .label("next")
+      .addi(KEYS, KEYS, 8)
+      .addi(OUT, OUT, 8)
+      .addi(I, I, 1)
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+
+  Workload w;
+  w.name = "hash_join";
+  w.kernel = kb.build();
+  w.buffers = {{"table", shape.slots * 16, true},
+               {"keys", p.n * 8, true},
+               {"out", p.n * 8, true}};
+  w.footprint_hint_bytes = shape.slots * 16;
+  w.setup = [p](sls::System& sys) {
+    const JoinData d = gen_join(p);
+    write_i64(sys, sys.buffer("table"), d.table);
+    write_i64(sys, sys.buffer("keys"), d.keys);
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("table")), static_cast<i64>(sys.buffer("keys")),
+               static_cast<i64>(sys.buffer("out")), static_cast<i64>(p.n),
+               static_cast<i64>(d.slots - 1)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const JoinData d = gen_join(p);
+    return read_i64(sys, sys.buffer("out"), p.n) == d.expected;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,99 @@
+// 256-bin byte histogram.
+//
+// Streams the input through scratchpad tiles and keeps all bins in BRAM —
+// the pattern used by the thread-scaling experiment, where several threads
+// histogram disjoint slices and the bus/walker become the bottleneck.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg DATA = 1, OUT = 2, NB = 3;  // args: data va, out va, n bytes
+constexpr hwt::Reg I = 4, K = 5, T0 = 6;
+constexpr hwt::Reg TB = 10, OFF_D = 11, BYTE = 12, BIN = 13, CNT = 14, BINB = 15, KD = 16;
+
+constexpr u64 kBinsBytes = 256 * 8;
+
+std::vector<u8> gen_bytes(const WorkloadParams& p) {
+  Rng rng(p.seed * 0xbf58476d1ce4e5b9ull + 17);
+  std::vector<u8> d(p.n);
+  for (auto& b : d) b = static_cast<u8>(rng.below(256));
+  return d;
+}
+}  // namespace
+
+Workload make_histogram(const WorkloadParams& p) {
+  const u64 tile_bytes = p.tile * 8;
+  require(p.n > 0 && tile_bytes > 0 && p.n % tile_bytes == 0,
+          "histogram needs n % (tile*8) == 0");
+
+  // Scratchpad: [0, 2 KiB) bins, [2 KiB, 2 KiB + tile) data tile.
+  hwt::KernelBuilder kb("histogram", static_cast<u32>(kBinsBytes + tile_bytes));
+  kb.mbox_get(DATA, 0)
+      .mbox_get(OUT, 0)
+      .mbox_get(NB, 0)
+      .li(TB, static_cast<i64>(tile_bytes))
+      .li(OFF_D, static_cast<i64>(kBinsBytes))
+      // Zero the bins.
+      .li(K, 0)
+      .li(CNT, 0)
+      .label("zero")
+      .seq(T0, K, OFF_D)
+      .bnez(T0, "zero_done")
+      .spad_store(K, CNT)
+      .addi(K, K, 8)
+      .jmp("zero")
+      .label("zero_done")
+      .li(I, 0)
+      .label("tiles")
+      .seq(T0, I, NB)
+      .bnez(T0, "exit")
+      .burst_load(OFF_D, DATA, TB)
+      .li(K, 0)
+      .label("bytes")
+      .seq(T0, K, TB)
+      .bnez(T0, "tile_done")
+      .add(KD, K, OFF_D)
+      .spad_load(BYTE, KD, 0, 1)
+      .shli(BINB, BYTE, 3)
+      .spad_load(CNT, BINB)
+      .addi(CNT, CNT, 1)
+      .spad_store(BINB, CNT)
+      .addi(K, K, 1)
+      .jmp("bytes")
+      .label("tile_done")
+      .add(DATA, DATA, TB)
+      .add(I, I, TB)
+      .jmp("tiles")
+      .label("exit")
+      .li(K, 0)
+      .li(BIN, static_cast<i64>(kBinsBytes))
+      .burst_store(OUT, K, BIN)
+      .mbox_put(1, I)
+      .halt();
+
+  Workload w;
+  w.name = "histogram";
+  w.kernel = kb.build();
+  w.buffers = {{"data", p.n, true}, {"hist", kBinsBytes, true}};
+  w.footprint_hint_bytes = p.n;
+  w.setup = [p](sls::System& sys) {
+    const auto d = gen_bytes(p);
+    sys.address_space().write(sys.buffer("data"), std::span<const u8>(d.data(), d.size()));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("data")), static_cast<i64>(sys.buffer("hist")),
+               static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const auto d = gen_bytes(p);
+    std::vector<i64> golden(256, 0);
+    for (u8 b : d) ++golden[b];
+    return read_i64(sys, sys.buffer("hist"), 256) == golden;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,124 @@
+// Matrix multiply: C = A x B over n x n 64-bit integers.
+//
+// The compute-dense workload of the speedup figure. The host pre-transposes
+// B (standard data-layout preparation for HLS kernels) so both operands
+// stream row-wise: per output row the kernel bursts one A row into the
+// scratchpad, then per output element bursts one B^T row and reduces a dot
+// product entirely out of BRAM. Arithmetic intensity grows with n, so this
+// kernel shows where hardware threads win big.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg A = 1, BT = 2, C = 3, N = 4;  // args: A, B^T, C, n
+constexpr hwt::Reg I = 5, J = 6, K = 7, T0 = 8;
+constexpr hwt::Reg ROWB = 10;  // row bytes = n * 8
+constexpr hwt::Reg OFF_A = 11, OFF_B = 12, OFF_C = 13;
+constexpr hwt::Reg ACC = 14, VA = 15, VB = 16, KB = 17, PA = 18, PB = 19, JC = 20;
+
+std::vector<i64> gen_matrix(u64 n, u64 seed, u64 salt) {
+  Rng rng(seed ^ (salt * 0x2545f4914f6cdd1dull));
+  std::vector<i64> m(n * n);
+  for (auto& e : m) e = static_cast<i64>(rng.below(1u << 10)) - (1 << 9);
+  return m;
+}
+
+std::vector<i64> transpose(const std::vector<i64>& m, u64 n) {
+  std::vector<i64> t(n * n);
+  for (u64 r = 0; r < n; ++r)
+    for (u64 c = 0; c < n; ++c) t[c * n + r] = m[r * n + c];
+  return t;
+}
+}  // namespace
+
+Workload make_matmul(const WorkloadParams& p) {
+  const u64 n = p.n;
+  require(n >= 2, "matmul needs n >= 2");
+  const i64 row_bytes = static_cast<i64>(n * 8);
+  require(3 * n * 8 <= 48 * KiB, "matmul row tiles exceed the scratchpad budget");
+
+  // Scratchpad: [0, R) A row, [R, 2R) B^T row, [2R, 3R) C row.
+  hwt::KernelBuilder kb("matmul", static_cast<u32>(3 * row_bytes));
+  kb.mbox_get(A, 0)
+      .mbox_get(BT, 0)
+      .mbox_get(C, 0)
+      .mbox_get(N, 0)
+      .li(ROWB, row_bytes)
+      .li(OFF_A, 0)
+      .li(OFF_B, row_bytes)
+      .li(OFF_C, 2 * row_bytes)
+      .li(I, 0)
+      .label("rows")
+      .seq(T0, I, N)
+      .bnez(T0, "exit")
+      .burst_load(OFF_A, A, ROWB)  // A row i
+      .mov(PB, BT)                 // rewind B^T
+      .li(J, 0)
+      .label("cols")
+      .seq(T0, J, N)
+      .bnez(T0, "cols_done")
+      .burst_load(OFF_B, PB, ROWB)  // B^T row j == B column j
+      .li(ACC, 0)
+      .li(K, 0)
+      .label("dot")
+      .seq(T0, K, ROWB)
+      .bnez(T0, "dot_done")
+      .spad_load(VA, K)
+      .add(KB, K, OFF_B)
+      .spad_load(VB, KB)
+      .mul(VA, VA, VB)
+      .add(ACC, ACC, VA)
+      .addi(K, K, 8)
+      .jmp("dot")
+      .label("dot_done")
+      .shli(JC, J, 3)
+      .add(JC, JC, OFF_C)
+      .spad_store(JC, ACC)  // C[i][j] staged in scratchpad
+      .add(PB, PB, ROWB)
+      .addi(J, J, 1)
+      .jmp("cols")
+      .label("cols_done")
+      .burst_store(C, OFF_C, ROWB)  // write C row i
+      .add(A, A, ROWB)
+      .add(C, C, ROWB)
+      .addi(I, I, 1)
+      .jmp("rows")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+  (void)PA;
+
+  Workload w;
+  w.name = "matmul";
+  w.kernel = kb.build();
+  w.buffers = {{"A", n * n * 8, true}, {"Bt", n * n * 8, true}, {"C", n * n * 8, true}};
+  w.footprint_hint_bytes = 3 * n * n * 8;
+  w.setup = [p, n](sls::System& sys) {
+    const auto a = gen_matrix(n, p.seed, 1);
+    const auto b = gen_matrix(n, p.seed, 2);
+    write_i64(sys, sys.buffer("A"), a);
+    write_i64(sys, sys.buffer("Bt"), transpose(b, n));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("A")), static_cast<i64>(sys.buffer("Bt")),
+               static_cast<i64>(sys.buffer("C")), static_cast<i64>(n)});
+  };
+  w.verify = [p, n](sls::System& sys) {
+    const auto a = gen_matrix(n, p.seed, 1);
+    const auto b = gen_matrix(n, p.seed, 2);
+    const auto c = read_i64(sys, sys.buffer("C"), n * n);
+    for (u64 i = 0; i < n; ++i)
+      for (u64 j = 0; j < n; ++j) {
+        i64 acc = 0;
+        for (u64 k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+        if (c[i * n + j] != acc) return false;
+      }
+    return true;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,102 @@
+// Merge two sorted runs of n elements each into a 2n output.
+//
+// The sort-pass workload: sequential reads from two streams with
+// data-dependent control flow. Used in the speedup figure as a
+// branch-heavy, low-arithmetic case where the fabric's advantage is small.
+
+#include <algorithm>
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg PA = 1, PB = 2, PO = 3, N = 4;
+constexpr hwt::Reg IA = 5, IB = 6, VA = 7, VB = 8, T0 = 9;
+
+std::vector<i64> gen_sorted(u64 n, u64 seed, u64 salt) {
+  Rng rng(seed ^ (salt * 0xff51afd7ed558ccdull));
+  std::vector<i64> v(n);
+  for (auto& e : v) e = static_cast<i64>(rng.below(1u << 24));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+Workload make_merge(const WorkloadParams& p) {
+  require(p.n >= 1, "merge needs at least one element per run");
+
+  hwt::KernelBuilder kb("merge");
+  kb.mbox_get(PA, 0)
+      .mbox_get(PB, 0)
+      .mbox_get(PO, 0)
+      .mbox_get(N, 0)
+      .li(IA, 0)
+      .li(IB, 0)
+      .label("loop")
+      .seq(T0, IA, N)
+      .bnez(T0, "drain_b")
+      .seq(T0, IB, N)
+      .bnez(T0, "drain_a")
+      .load(VA, PA)
+      .load(VB, PB)
+      .slt(T0, VB, VA)
+      .bnez(T0, "take_b")
+      .store(PO, VA)
+      .addi(PA, PA, 8)
+      .addi(IA, IA, 1)
+      .addi(PO, PO, 8)
+      .jmp("loop")
+      .label("take_b")
+      .store(PO, VB)
+      .addi(PB, PB, 8)
+      .addi(IB, IB, 1)
+      .addi(PO, PO, 8)
+      .jmp("loop")
+      .label("drain_a")
+      .seq(T0, IA, N)
+      .bnez(T0, "exit")
+      .load(VA, PA)
+      .store(PO, VA)
+      .addi(PA, PA, 8)
+      .addi(IA, IA, 1)
+      .addi(PO, PO, 8)
+      .jmp("drain_a")
+      .label("drain_b")
+      .seq(T0, IB, N)
+      .bnez(T0, "exit")
+      .load(VB, PB)
+      .store(PO, VB)
+      .addi(PB, PB, 8)
+      .addi(IB, IB, 1)
+      .addi(PO, PO, 8)
+      .jmp("drain_b")
+      .label("exit")
+      .mbox_put(1, IA)
+      .halt();
+
+  Workload w;
+  w.name = "merge";
+  w.kernel = kb.build();
+  w.buffers = {{"runA", p.n * 8, true}, {"runB", p.n * 8, true}, {"merged", 2 * p.n * 8, true}};
+  w.footprint_hint_bytes = 4 * p.n * 8;
+  w.setup = [p](sls::System& sys) {
+    write_i64(sys, sys.buffer("runA"), gen_sorted(p.n, p.seed, 1));
+    write_i64(sys, sys.buffer("runB"), gen_sorted(p.n, p.seed, 2));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("runA")), static_cast<i64>(sys.buffer("runB")),
+               static_cast<i64>(sys.buffer("merged")), static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    auto golden = gen_sorted(p.n, p.seed, 1);
+    const auto b = gen_sorted(p.n, p.seed, 2);
+    golden.insert(golden.end(), b.begin(), b.end());
+    std::sort(golden.begin(), golden.end());
+    return read_i64(sys, sys.buffer("merged"), 2 * p.n) == golden;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

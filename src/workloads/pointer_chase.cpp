@@ -1,0 +1,89 @@
+// Pointer chasing: traverse an n-node linked list scattered over the heap.
+//
+// The workload that motivates virtual-memory hardware threads: every hop is
+// a data-dependent access to a pointer-linked structure that a copy-based
+// accelerator cannot consume without a serializing translation pass on the
+// host. Access order is a random permutation so TLB reach and walk latency
+// dominate. The result (sum of node values) returns via the done mailbox.
+
+#include <numeric>
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr u64 kNodeBytes = 32;  // [0] next va, [8] value, 16 B pad
+constexpr hwt::Reg HEAD = 1, CNT = 2, P = 3, I = 4, SUM = 5, V = 6, T0 = 7;
+
+struct Chain {
+  std::vector<u64> order;   // visit order: order[k] = node index
+  std::vector<i64> values;  // per node
+};
+
+Chain gen_chain(const WorkloadParams& p) {
+  Rng rng(p.seed * 0x6a09e667f3bcc909ull + 3);
+  Chain c;
+  c.order.resize(p.n);
+  std::iota(c.order.begin(), c.order.end(), 0);
+  // Fisher-Yates shuffle for a single random cycle through all nodes.
+  for (u64 i = p.n - 1; i > 0; --i) std::swap(c.order[i], c.order[rng.below(i + 1)]);
+  c.values.resize(p.n);
+  for (auto& v : c.values) v = static_cast<i64>(rng.below(1u << 16));
+  return c;
+}
+}  // namespace
+
+Workload make_pointer_chase(const WorkloadParams& p) {
+  require(p.n >= 2, "pointer_chase needs at least two nodes");
+
+  hwt::KernelBuilder kb("pointer_chase");
+  kb.mbox_get(HEAD, 0)
+      .mbox_get(CNT, 0)
+      .mov(P, HEAD)
+      .li(I, 0)
+      .li(SUM, 0)
+      .label("loop")
+      .seq(T0, I, CNT)
+      .bnez(T0, "exit")
+      .load(V, P, 8)   // node value
+      .add(SUM, SUM, V)
+      .load(P, P, 0)   // next pointer
+      .addi(I, I, 1)
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, SUM)
+      .halt();
+
+  Workload w;
+  w.name = "pointer_chase";
+  w.kernel = kb.build();
+  w.buffers = {{"nodes", p.n * kNodeBytes, true}};
+  w.footprint_hint_bytes = p.n * kNodeBytes;
+  w.setup = [p](sls::System& sys) {
+    const Chain c = gen_chain(p);
+    const VirtAddr base = sys.buffer("nodes");
+    auto& as = sys.address_space();
+    for (u64 k = 0; k < p.n; ++k) {
+      const u64 node = c.order[k];
+      const u64 next = c.order[(k + 1) % p.n];
+      as.write_u64(base + node * kNodeBytes, base + next * kNodeBytes);
+      as.write_scalar<i64>(base + node * kNodeBytes + 8, c.values[node]);
+    }
+    push_args(sys, "args",
+              {static_cast<i64>(base + c.order[0] * kNodeBytes), static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const Chain c = gen_chain(p);
+    const i64 expected = std::accumulate(c.values.begin(), c.values.end(), i64{0});
+    i64 token = 0;
+    const unsigned done = sys.image().app().mailbox_index("done");
+    if (!sys.process().mailbox(done).try_get(token)) return false;
+    return token == expected;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,119 @@
+// SAXPY: y[i] = alpha * x[i] + y[i] (integer / fixed-point).
+//
+// The streaming workload of the SVM-vs-DMA crossover experiment: perfectly
+// sequential access where copy-based offload amortizes best. The burst
+// variant is the "HLS with local buffers" shape.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg X = 1, Y = 2, AL = 3, N = 4, I = 5, T0 = 6, T1 = 7, T2 = 8, T3 = 9;
+
+std::vector<i64> gen_vec(u64 n, u64 seed, u64 salt) {
+  Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+  std::vector<i64> v(n);
+  for (auto& e : v) e = static_cast<i64>(rng.below(1u << 18));
+  return v;
+}
+
+constexpr i64 kAlpha = 7;
+
+Workload finish(const WorkloadParams& p, hwt::Kernel kernel) {
+  Workload w;
+  w.name = kernel.name;
+  w.kernel = std::move(kernel);
+  w.buffers = {{"x", p.n * 8, true}, {"y", p.n * 8, true}};
+  w.footprint_hint_bytes = 2 * p.n * 8;
+  w.setup = [p](sls::System& sys) {
+    write_i64(sys, sys.buffer("x"), gen_vec(p.n, p.seed, 1));
+    write_i64(sys, sys.buffer("y"), gen_vec(p.n, p.seed, 2));
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("x")), static_cast<i64>(sys.buffer("y")), kAlpha,
+               static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const auto x = gen_vec(p.n, p.seed, 1);
+    const auto y0 = gen_vec(p.n, p.seed, 2);
+    const auto y = read_i64(sys, sys.buffer("y"), p.n);
+    for (u64 i = 0; i < p.n; ++i)
+      if (y[i] != kAlpha * x[i] + y0[i]) return false;
+    return true;
+  };
+  return w;
+}
+}  // namespace
+
+Workload make_saxpy(const WorkloadParams& p) {
+  require(p.n > 0, "saxpy needs at least one element");
+  hwt::KernelBuilder kb("saxpy");
+  kb.mbox_get(X, 0)
+      .mbox_get(Y, 0)
+      .mbox_get(AL, 0)
+      .mbox_get(N, 0)
+      .li(I, 0)
+      .label("loop")
+      .seq(T0, I, N)
+      .bnez(T0, "exit")
+      .load(T1, X)
+      .load(T2, Y)
+      .mul(T3, T1, AL)
+      .add(T3, T3, T2)
+      .store(Y, T3)
+      .addi(X, X, 8)
+      .addi(Y, Y, 8)
+      .addi(I, I, 1)
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+  return finish(p, kb.build());
+}
+
+Workload make_saxpy_burst(const WorkloadParams& p) {
+  require(p.n > 0 && p.tile > 0 && p.n % p.tile == 0, "saxpy_burst needs n % tile == 0");
+  const i64 tile_bytes = static_cast<i64>(p.tile * 8);
+  constexpr hwt::Reg TB = 10, OFF_X = 11, OFF_Y = 12, K = 13, VX = 14, VY = 15, KY = 16;
+
+  hwt::KernelBuilder kb("saxpy_burst", static_cast<u32>(2 * tile_bytes));
+  kb.mbox_get(X, 0)
+      .mbox_get(Y, 0)
+      .mbox_get(AL, 0)
+      .mbox_get(N, 0)
+      .li(I, 0)
+      .li(TB, tile_bytes)
+      .li(OFF_X, 0)
+      .li(OFF_Y, tile_bytes)
+      .label("loop")
+      .seq(T0, I, N)
+      .bnez(T0, "exit")
+      .burst_load(OFF_X, X, TB)
+      .burst_load(OFF_Y, Y, TB)
+      .li(K, 0)
+      .label("inner")
+      .seq(T0, K, TB)
+      .bnez(T0, "inner_done")
+      .spad_load(VX, K)
+      .add(KY, K, OFF_Y)
+      .spad_load(VY, KY)
+      .mul(VX, VX, AL)
+      .add(VY, VY, VX)
+      .spad_store(KY, VY)
+      .addi(K, K, 8)
+      .jmp("inner")
+      .label("inner_done")
+      .burst_store(Y, OFF_Y, TB)
+      .add(X, X, TB)
+      .add(Y, Y, TB)
+      .addi(I, I, static_cast<i64>(p.tile))
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+  return finish(p, kb.build());
+}
+
+}  // namespace vmsls::workloads

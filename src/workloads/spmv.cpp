@@ -1,0 +1,127 @@
+// Sparse matrix-vector multiply, CSR format: y = A * x.
+//
+// Irregular gather on x indexed by col_idx — the access pattern that sits
+// between streaming (saxpy) and fully random (hash_join) in the evaluation.
+// All arrays hold 64-bit words for a uniform port width.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg RP = 1, CI = 2, VALS = 3, XV = 4, YV = 5, NR = 6;
+constexpr hwt::Reg R = 7, E = 8, END = 9, ACC = 10, COL = 11, V = 12, XT = 13, T0 = 14;
+constexpr hwt::Reg PE = 15, PV = 16, PY = 17, PRP = 18;
+
+struct Csr {
+  std::vector<i64> row_ptr;  // n + 1
+  std::vector<i64> col_idx;
+  std::vector<i64> vals;
+  std::vector<i64> x;
+  std::vector<i64> expected;
+};
+
+Csr gen_csr(const WorkloadParams& p) {
+  Rng rng(p.seed * 0x94d049bb133111ebull + 11);
+  Csr m;
+  m.row_ptr.resize(p.n + 1);
+  m.row_ptr[0] = 0;
+  for (u64 r = 0; r < p.n; ++r) {
+    const u64 deg = 2 + rng.below(13);  // avg ~8 nonzeros per row
+    m.row_ptr[r + 1] = m.row_ptr[r] + static_cast<i64>(deg);
+    for (u64 e = 0; e < deg; ++e) {
+      m.col_idx.push_back(static_cast<i64>(rng.below(p.n)));
+      m.vals.push_back(static_cast<i64>(rng.below(1u << 10)) - (1 << 9));
+    }
+  }
+  m.x.resize(p.n);
+  for (auto& v : m.x) v = static_cast<i64>(rng.below(1u << 10)) - (1 << 9);
+  m.expected.resize(p.n);
+  for (u64 r = 0; r < p.n; ++r) {
+    i64 acc = 0;
+    for (i64 e = m.row_ptr[r]; e < m.row_ptr[r + 1]; ++e)
+      acc += m.vals[static_cast<u64>(e)] * m.x[static_cast<u64>(m.col_idx[static_cast<u64>(e)])];
+    m.expected[r] = acc;
+  }
+  return m;
+}
+}  // namespace
+
+Workload make_spmv(const WorkloadParams& p) {
+  require(p.n >= 1, "spmv needs at least one row");
+  const Csr shape = gen_csr(p);
+  const u64 nnz = shape.col_idx.size();
+
+  hwt::KernelBuilder kb("spmv");
+  kb.mbox_get(RP, 0)
+      .mbox_get(CI, 0)
+      .mbox_get(VALS, 0)
+      .mbox_get(XV, 0)
+      .mbox_get(YV, 0)
+      .mbox_get(NR, 0)
+      .mov(PY, YV)
+      .mov(PRP, RP)
+      .li(R, 0)
+      .label("rows")
+      .seq(T0, R, NR)
+      .bnez(T0, "exit")
+      .load(E, PRP)        // row_ptr[r]
+      .load(END, PRP, 8)   // row_ptr[r+1]
+      .li(ACC, 0)
+      .shli(PE, E, 3)
+      .add(PV, PE, VALS)   // &vals[e]
+      .add(PE, PE, CI)     // &col_idx[e]
+      .label("nz")
+      .seq(T0, E, END)
+      .bnez(T0, "row_done")
+      .load(COL, PE)
+      .load(V, PV)
+      .shli(XT, COL, 3)
+      .add(XT, XT, XV)
+      .load(XT, XT)        // x[col]
+      .mul(V, V, XT)
+      .add(ACC, ACC, V)
+      .addi(PE, PE, 8)
+      .addi(PV, PV, 8)
+      .addi(E, E, 1)
+      .jmp("nz")
+      .label("row_done")
+      .store(PY, ACC)
+      .addi(PY, PY, 8)
+      .addi(PRP, PRP, 8)
+      .addi(R, R, 1)
+      .jmp("rows")
+      .label("exit")
+      .mbox_put(1, R)
+      .halt();
+
+  Workload w;
+  w.name = "spmv";
+  w.kernel = kb.build();
+  w.buffers = {{"row_ptr", (p.n + 1) * 8, true},
+               {"col_idx", nnz * 8, true},
+               {"vals", nnz * 8, true},
+               {"x", p.n * 8, true},
+               {"y", p.n * 8, true}};
+  w.footprint_hint_bytes = (p.n * 3 + nnz * 2) * 8;
+  w.setup = [p](sls::System& sys) {
+    const Csr m = gen_csr(p);
+    write_i64(sys, sys.buffer("row_ptr"), m.row_ptr);
+    write_i64(sys, sys.buffer("col_idx"), m.col_idx);
+    write_i64(sys, sys.buffer("vals"), m.vals);
+    write_i64(sys, sys.buffer("x"), m.x);
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("row_ptr")), static_cast<i64>(sys.buffer("col_idx")),
+               static_cast<i64>(sys.buffer("vals")), static_cast<i64>(sys.buffer("x")),
+               static_cast<i64>(sys.buffer("y")), static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const Csr m = gen_csr(p);
+    return read_i64(sys, sys.buffer("y"), p.n) == m.expected;
+  };
+  return w;
+}
+
+}  // namespace vmsls::workloads

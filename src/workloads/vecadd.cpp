@@ -1,0 +1,132 @@
+// Vector addition: c[i] = a[i] + b[i].
+//
+// The canonical quickstart kernel. The element-wise form issues one 8-byte
+// load per operand per element (translation-heavy); the burst form streams
+// scratchpad tiles (what an HLS tool produces from a pipelined loop with
+// memcpy-style array arguments) and is the ablation point for burst ports.
+
+#include "hwt/builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+
+namespace {
+constexpr hwt::Reg A = 1, B = 2, C = 3, N = 4, I = 5, T0 = 6, T1 = 7, T2 = 8, T3 = 9;
+
+struct VecaddData {
+  std::vector<i64> a, b;
+};
+
+VecaddData gen_inputs(const WorkloadParams& p) {
+  Rng rng(p.seed);
+  VecaddData d;
+  d.a.resize(p.n);
+  d.b.resize(p.n);
+  for (u64 i = 0; i < p.n; ++i) {
+    d.a[i] = static_cast<i64>(rng.below(1u << 20));
+    d.b[i] = static_cast<i64>(rng.below(1u << 20));
+  }
+  return d;
+}
+
+Workload finish(const WorkloadParams& p, hwt::Kernel kernel) {
+  Workload w;
+  w.name = kernel.name;
+  w.kernel = std::move(kernel);
+  w.buffers = {{"a", p.n * 8, true}, {"b", p.n * 8, true}, {"c", p.n * 8, true}};
+  w.footprint_hint_bytes = 3 * p.n * 8;
+  w.setup = [p](sls::System& sys) {
+    const auto d = gen_inputs(p);
+    write_i64(sys, sys.buffer("a"), d.a);
+    write_i64(sys, sys.buffer("b"), d.b);
+    push_args(sys, "args",
+              {static_cast<i64>(sys.buffer("a")), static_cast<i64>(sys.buffer("b")),
+               static_cast<i64>(sys.buffer("c")), static_cast<i64>(p.n)});
+  };
+  w.verify = [p](sls::System& sys) {
+    const auto d = gen_inputs(p);
+    const auto c = read_i64(sys, sys.buffer("c"), p.n);
+    for (u64 i = 0; i < p.n; ++i)
+      if (c[i] != d.a[i] + d.b[i]) return false;
+    return true;
+  };
+  return w;
+}
+}  // namespace
+
+Workload make_vecadd(const WorkloadParams& p) {
+  require(p.n > 0, "vecadd needs at least one element");
+  hwt::KernelBuilder kb("vecadd");
+  kb.mbox_get(A, 0)
+      .mbox_get(B, 0)
+      .mbox_get(C, 0)
+      .mbox_get(N, 0)
+      .li(I, 0)
+      .label("loop")
+      .seq(T0, I, N)
+      .bnez(T0, "exit")
+      .load(T1, A)
+      .load(T2, B)
+      .add(T3, T1, T2)
+      .store(C, T3)
+      .addi(A, A, 8)
+      .addi(B, B, 8)
+      .addi(C, C, 8)
+      .addi(I, I, 1)
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+  return finish(p, kb.build());
+}
+
+Workload make_vecadd_burst(const WorkloadParams& p) {
+  require(p.n > 0 && p.tile > 0 && p.n % p.tile == 0, "vecadd_burst needs n % tile == 0");
+  const i64 tile_bytes = static_cast<i64>(p.tile * 8);
+  // Scratchpad layout: [0, T) a-tile, [T, 2T) b-tile, [2T, 3T) c-tile.
+  constexpr hwt::Reg TB = 10, OFF_A = 11, OFF_B = 12, OFF_C = 13, K = 14;
+  constexpr hwt::Reg VA = 15, VB = 16, VC = 17, KA = 18, KB = 19, KC = 20;
+
+  hwt::KernelBuilder kb("vecadd_burst", static_cast<u32>(3 * tile_bytes));
+  kb.mbox_get(A, 0)
+      .mbox_get(B, 0)
+      .mbox_get(C, 0)
+      .mbox_get(N, 0)
+      .li(I, 0)
+      .li(TB, tile_bytes)
+      .li(OFF_A, 0)
+      .li(OFF_B, tile_bytes)
+      .li(OFF_C, 2 * tile_bytes)
+      .label("loop")
+      .seq(T0, I, N)
+      .bnez(T0, "exit")
+      .burst_load(OFF_A, A, TB)
+      .burst_load(OFF_B, B, TB)
+      .li(K, 0)
+      .label("inner")
+      .seq(T0, K, TB)
+      .bnez(T0, "inner_done")
+      .spad_load(VA, K)
+      .add(KB, K, OFF_B)
+      .spad_load(VB, KB)
+      .add(VC, VA, VB)
+      .add(KC, K, OFF_C)
+      .spad_store(KC, VC)
+      .addi(K, K, 8)
+      .jmp("inner")
+      .label("inner_done")
+      .burst_store(C, OFF_C, TB)
+      .add(A, A, TB)
+      .add(B, B, TB)
+      .add(C, C, TB)
+      .addi(I, I, static_cast<i64>(p.tile))
+      .jmp("loop")
+      .label("exit")
+      .mbox_put(1, I)
+      .halt();
+  (void)KA;
+  return finish(p, kb.build());
+}
+
+}  // namespace vmsls::workloads

@@ -1,0 +1,78 @@
+// Benchmark kernels — the paper's evaluation workloads.
+//
+// Each workload bundles a kernel (IR), its buffer requirements, a host-side
+// setup function that initializes inputs and pushes kernel arguments into
+// the "args" mailbox, and a verifier that checks outputs against a golden
+// C++ model. The same kernel runs as a hardware thread (fabric cost model,
+// MMU ports) or a software thread (CPU cost model, cached ports), which is
+// how every speedup comparison is produced.
+//
+// Calling convention: kernels read arguments from mailbox 0 in a fixed
+// per-workload order (buffer virtual addresses first, scalars after) and
+// put one completion token into mailbox 1 before halting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hwt/kernel.hpp"
+#include "sls/app.hpp"
+#include "sls/system.hpp"
+
+namespace vmsls::workloads {
+
+struct WorkloadParams {
+  u64 n = 4096;    // primary size (elements / dimension / nodes; see each factory)
+  u64 tile = 256;  // burst tile in elements, for tiled kernels
+  u64 seed = 42;   // input data seed
+  u64 aux = 0;     // workload-specific secondary size (hash_join: number of
+                   // build tuples; 0 = same as n)
+};
+
+struct Workload {
+  std::string name;
+  hwt::Kernel kernel;
+  std::vector<sls::BufferSpec> buffers;
+  u64 footprint_hint_bytes = 0;
+
+  /// Writes input data into the system's buffers and enqueues the argument
+  /// words. Call after elaboration, before starting threads.
+  std::function<void(sls::System&)> setup;
+
+  /// Reads outputs and compares with the golden model. Call after
+  /// run_to_completion.
+  std::function<bool(sls::System&)> verify;
+};
+
+// --- factories (each header-documented in its .cpp) ---
+Workload make_vecadd(const WorkloadParams& p);        // c[i] = a[i] + b[i], element-wise
+Workload make_vecadd_burst(const WorkloadParams& p);  // tiled through the scratchpad
+Workload make_saxpy(const WorkloadParams& p);         // y[i] += alpha * x[i], element-wise
+Workload make_saxpy_burst(const WorkloadParams& p);   // tiled through the scratchpad
+Workload make_matmul(const WorkloadParams& p);        // C = A x B, n x n, row-tiled
+Workload make_conv2d(const WorkloadParams& p);        // 3x3 blur over an n x n image
+Workload make_pointer_chase(const WorkloadParams& p); // linked-list traversal, n nodes
+Workload make_hash_join(const WorkloadParams& p);     // probe n keys into a hash table
+Workload make_spmv(const WorkloadParams& p);          // CSR y = A*x, n rows
+Workload make_histogram(const WorkloadParams& p);     // 256-bin byte histogram of n bytes
+Workload make_merge(const WorkloadParams& p);         // merge two sorted runs of n each
+Workload make_bfs(const WorkloadParams& p);           // queue-based BFS over a CSR graph
+
+/// All registry names accepted by make_workload.
+std::vector<std::string> workload_names();
+Workload make_workload(const std::string& name, const WorkloadParams& p);
+
+/// Builds a one-worker application around a workload: thread "worker",
+/// mailboxes "args" and "done", plus the workload's buffers.
+sls::AppSpec single_thread_app(const Workload& w, sls::ThreadKind kind,
+                               sls::Addressing addressing = sls::Addressing::kVirtual,
+                               bool pinned_buffers = true);
+
+// --- host-side helpers shared by the workload implementations ---
+void write_i64(sls::System& sys, VirtAddr va, const std::vector<i64>& values);
+std::vector<i64> read_i64(sls::System& sys, VirtAddr va, u64 count);
+void push_args(sls::System& sys, const std::string& mailbox,
+               const std::vector<i64>& args);
+
+}  // namespace vmsls::workloads

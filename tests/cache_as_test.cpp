@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "mem/cache.hpp"
+#include "test_util.hpp"
+
+namespace vmsls::mem {
+namespace {
+
+using test::MemorySystem;
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 1 * KiB;
+  c.ways = 2;
+  c.line_bytes = 32;
+  c.hit_latency = 1;
+  return c;
+}
+
+TEST(CacheLevel, MissThenHit) {
+  StatRegistry stats;
+  CacheLevel c(small_cache(), stats, "c");
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x11F, false).hit);  // same 32 B line
+  EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+}
+
+TEST(CacheLevel, DirtyEvictionReportsWriteback) {
+  StatRegistry stats;
+  CacheConfig cfg = small_cache();
+  cfg.size_bytes = 64;  // 2 lines, 2 ways: one set
+  CacheLevel c(cfg, stats, "c");
+  c.access(0, true);                       // dirty
+  c.access(64, false);                     // fills other way
+  const auto out = c.access(128, false);   // evicts line 0 (LRU, dirty)
+  EXPECT_TRUE(out.writeback);
+  EXPECT_EQ(out.writeback_addr, 0u);
+}
+
+TEST(CacheLevel, CleanEvictionNoWriteback) {
+  StatRegistry stats;
+  CacheConfig cfg = small_cache();
+  cfg.size_bytes = 64;
+  CacheLevel c(cfg, stats, "c");
+  c.access(0, false);
+  c.access(64, false);
+  EXPECT_FALSE(c.access(128, false).writeback);
+}
+
+TEST(CacheLevel, LruKeepsHotLine) {
+  StatRegistry stats;
+  CacheConfig cfg = small_cache();
+  cfg.size_bytes = 64;
+  CacheLevel c(cfg, stats, "c");
+  c.access(0, false);
+  c.access(64, false);
+  c.access(0, false);    // 0 hot
+  c.access(128, false);  // evicts 64
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(64, false).hit);
+}
+
+TEST(CacheLevel, FlushInvalidates) {
+  StatRegistry stats;
+  CacheLevel c(small_cache(), stats, "c");
+  c.access(0, true);
+  c.flush();
+  EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(CacheLevel, BadGeometryRejected) {
+  StatRegistry stats;
+  CacheConfig cfg = small_cache();
+  cfg.line_bytes = 33;
+  EXPECT_THROW(CacheLevel(cfg, stats, "c"), std::invalid_argument);
+}
+
+struct HierarchyFixture : ::testing::Test {
+  MemorySystem ms;
+  CacheHierarchyConfig cfg;
+  std::unique_ptr<CacheHierarchy> h;
+
+  void make() { h = std::make_unique<CacheHierarchy>(ms.sim, ms.bus, cfg, "h"); }
+
+  Cycles access_sync(PhysAddr addr, u32 bytes, bool write) {
+    const Cycles t0 = ms.sim.now();
+    bool done = false;
+    h->access(addr, bytes, write, [&] { done = true; });
+    ms.run_all();
+    EXPECT_TRUE(done);
+    return ms.sim.now() - t0;
+  }
+};
+
+TEST_F(HierarchyFixture, ColdMissCostsMoreThanWarmHit) {
+  make();
+  const Cycles cold = access_sync(0x1000, 8, false);
+  const Cycles warm = access_sync(0x1000, 8, false);
+  EXPECT_GT(cold, warm);
+  EXPECT_EQ(warm, cfg.l1.hit_latency);
+}
+
+TEST_F(HierarchyFixture, L2CatchesL1Evictions) {
+  make();
+  // Touch more lines than L1 holds but fewer than L2: second pass hits L2.
+  const u64 lines = cfg.l1.size_bytes / cfg.l1.line_bytes * 2;
+  for (u64 i = 0; i < lines; ++i) access_sync(i * cfg.l1.line_bytes, 8, false);
+  const u64 l2_hits_before = h->l2().hits();
+  for (u64 i = 0; i < lines; ++i) access_sync(i * cfg.l1.line_bytes, 8, false);
+  EXPECT_GT(h->l2().hits(), l2_hits_before);
+}
+
+TEST_F(HierarchyFixture, MultiLineAccessTouchesEachLine) {
+  make();
+  access_sync(0, 256, false);  // 8 lines of 32 B
+  EXPECT_EQ(h->l1().misses(), 256 / cfg.l1.line_bytes);
+}
+
+TEST_F(HierarchyFixture, WritebacksReachTheBus) {
+  make();
+  // Dirty many lines, then stream far past both caches to force evictions.
+  const u64 lines = (cfg.l2.size_bytes / cfg.l2.line_bytes) * 2;
+  for (u64 i = 0; i < lines; ++i) access_sync(i * cfg.l1.line_bytes, 8, true);
+  EXPECT_GT(ms.sim.stats().counter_value("bus.writes"), 0u);
+}
+
+// --- address space ---
+
+TEST(AddressSpace, AllocBumpsAndAligns) {
+  MemorySystem ms;
+  const VirtAddr a = ms.as.alloc(100, 64);
+  const VirtAddr b = ms.as.alloc(10, 64);
+  EXPECT_TRUE(is_aligned(a, 64));
+  EXPECT_TRUE(is_aligned(b, 64));
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(AddressSpace, SoftwareTouchMapsOnDemand) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(4096);
+  EXPECT_FALSE(ms.as.is_mapped(va));
+  ms.as.write_u64(va, 42);
+  EXPECT_TRUE(ms.as.is_mapped(va));
+  EXPECT_EQ(ms.as.read_u64(va), 42u);
+}
+
+TEST(AddressSpace, PopulatePinsRange) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(3 * 4096);
+  ms.as.populate(va, 3 * 4096);
+  for (u64 p = 0; p < 3; ++p) EXPECT_TRUE(ms.as.is_mapped(va + p * 4096));
+  EXPECT_EQ(ms.as.resident_pages(), 3u);
+}
+
+TEST(AddressSpace, EvictionPreservesContents) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(2 * 4096);
+  ms.as.write_u64(va + 100, 0x1111);
+  ms.as.write_u64(va + 4096 + 100, 0x2222);
+  const u64 free_before = ms.frames.free_frames();
+  EXPECT_EQ(ms.as.evict(va, 2 * 4096), 2u);
+  EXPECT_FALSE(ms.as.is_mapped(va));
+  EXPECT_EQ(ms.frames.free_frames(), free_before + 2);
+  // Demand-mapping restores the evicted bytes from the backing store.
+  ms.as.map_page(va);
+  ms.as.map_page(va + 4096);
+  EXPECT_EQ(ms.as.read_u64(va + 100), 0x1111u);
+  EXPECT_EQ(ms.as.read_u64(va + 4096 + 100), 0x2222u);
+}
+
+TEST(AddressSpace, TranslateOffsets) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(4096);
+  ms.as.populate(va, 4096);
+  const auto pa = ms.as.translate(va + 123);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(*pa & 0xFFF, (va + 123) & 0xFFF);
+  EXPECT_FALSE(ms.as.translate(va + 64 * 4096).has_value());
+}
+
+TEST(AddressSpace, CrossPageReadWrite) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(3 * 4096);
+  std::vector<u8> data(9000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  ms.as.write(va + 1000, std::span<const u8>(data.data(), data.size()));
+  std::vector<u8> back(data.size());
+  ms.as.read(va + 1000, std::span<u8>(back.data(), back.size()));
+  EXPECT_EQ(back, data);
+}
+
+TEST(AddressSpace, EvictUnmappedIsNoop) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(4096);
+  EXPECT_EQ(ms.as.evict(va, 4096), 0u);
+}
+
+TEST(AddressSpace, FaultCountTracksDemandMaps) {
+  MemorySystem ms;
+  const VirtAddr va = ms.as.alloc(4096);
+  const u64 before = ms.as.faults_serviced();
+  ms.as.map_page(va);
+  EXPECT_EQ(ms.as.faults_serviced(), before + 1);
+}
+
+TEST(AddressSpace, LargePageGeometry) {
+  MemorySystem ms{PageTableConfig{32, 16}};  // 64 KiB pages
+  EXPECT_EQ(ms.as.page_bytes(), 64 * KiB);
+  const VirtAddr va = ms.as.alloc(128 * KiB);
+  ms.as.populate(va, 128 * KiB);
+  EXPECT_EQ(ms.as.resident_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace vmsls::mem

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace vmsls {
+namespace {
+
+/// Redirects std::cerr for the duration of a test.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Logger::level(); }
+  void TearDown() override { Logger::set_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MessagesBelowThresholdSuppressed) {
+  Logger::set_level(LogLevel::kWarn);
+  CerrCapture cap;
+  log_info("who", "should not appear");
+  log_debug("who", "nor this");
+  EXPECT_TRUE(cap.text().empty());
+}
+
+TEST_F(LogTest, MessagesAtThresholdEmitted) {
+  Logger::set_level(LogLevel::kInfo);
+  CerrCapture cap;
+  log_info("component", "value=", 42);
+  const std::string out = cap.text();
+  EXPECT_NE(out.find("[INFO]"), std::string::npos);
+  EXPECT_NE(out.find("component"), std::string::npos);
+  EXPECT_NE(out.find("value=42"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveWarn) {
+  Logger::set_level(LogLevel::kWarn);
+  CerrCapture cap;
+  log_error("x", "boom");
+  EXPECT_NE(cap.text().find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  CerrCapture cap;
+  log_error("x", "boom");
+  log_warn("x", "warn");
+  EXPECT_TRUE(cap.text().empty());
+}
+
+TEST_F(LogTest, ConcatHandlesMixedTypes) {
+  Logger::set_level(LogLevel::kDebug);
+  CerrCapture cap;
+  log_debug("mix", "a=", 1, " b=", 2.5, " c=", std::string("s"));
+  const std::string out = cap.text();
+  EXPECT_NE(out.find("a=1 b=2.5 c=s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmsls

@@ -1,0 +1,197 @@
+// Model-level property tests: randomized operation sequences checked
+// against simple reference models (std::map page table, list-based LRU TLB),
+// plus timing monotonicity properties of the DRAM model.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "mem/dram.hpp"
+#include "mem/frames.hpp"
+#include "mem/pagetable.hpp"
+#include "mem/physmem.hpp"
+#include "mem/tlb.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vmsls::mem {
+namespace {
+
+// --- page table vs std::map reference, random map/unmap/lookup streams ---
+
+class PageTableFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PageTableFuzz, MatchesReferenceMap) {
+  PhysicalMemory pm(64 * MiB);
+  FrameAllocator frames(0, (64 * MiB) / (4 * KiB), 4 * KiB);
+  PageTable pt(pm, frames, PageTableConfig{});
+  std::map<u64, std::pair<u64, bool>> ref;  // vpn -> (frame, writable)
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 2000; ++step) {
+    const u64 vpn = rng.below(512);  // dense region: plenty of collisions
+    const VirtAddr va = (vpn << 12) | rng.below(4096);
+    switch (rng.below(3)) {
+      case 0: {  // map if absent
+        if (ref.count(vpn)) break;
+        const u64 frame = frames.alloc();
+        const bool writable = rng.chance(0.5);
+        pt.map(vpn << 12, frame, writable);
+        ref[vpn] = {frame, writable};
+        break;
+      }
+      case 1: {  // unmap if present
+        if (!ref.count(vpn)) break;
+        pt.unmap(vpn << 12);
+        frames.free(ref[vpn].first);
+        ref.erase(vpn);
+        break;
+      }
+      default: {  // lookup
+        const auto got = pt.lookup(va);
+        const auto it = ref.find(vpn);
+        if (it == ref.end()) {
+          EXPECT_FALSE(got.has_value()) << "vpn " << vpn << " step " << step;
+        } else {
+          ASSERT_TRUE(got.has_value()) << "vpn " << vpn << " step " << step;
+          EXPECT_EQ(got->frame, it->second.first);
+          EXPECT_EQ(got->writable, it->second.second);
+        }
+      }
+    }
+  }
+  // Final sweep: every reference entry must be visible, nothing extra.
+  for (const auto& [vpn, entry] : ref) {
+    const auto got = pt.lookup(vpn << 12);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->frame, entry.first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- TLB vs a list-based true-LRU reference ---
+
+/// Fully associative reference model (exact LRU).
+class RefTlb {
+ public:
+  explicit RefTlb(unsigned capacity) : capacity_(capacity) {}
+
+  bool lookup(u64 vpn, u64& frame) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->first == vpn) {
+        frame = it->second;
+        order_.splice(order_.begin(), order_, it);  // move to front (MRU)
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(u64 vpn, u64 frame) {
+    u64 dummy;
+    if (lookup(vpn, dummy)) {
+      order_.front().second = frame;
+      return;
+    }
+    if (order_.size() == capacity_) order_.pop_back();
+    order_.emplace_front(vpn, frame);
+  }
+
+  void invalidate(u64 vpn) {
+    order_.remove_if([vpn](const auto& e) { return e.first == vpn; });
+  }
+
+ private:
+  unsigned capacity_;
+  std::list<std::pair<u64, u64>> order_;
+};
+
+class TlbFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TlbFuzz, FullyAssociativeTlbMatchesExactLru) {
+  StatRegistry stats;
+  TlbConfig cfg;
+  cfg.entries = 8;
+  cfg.ways = 8;  // fully associative: reference model applies exactly
+  Tlb tlb(cfg, stats, "t");
+  RefTlb ref(8);
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 5000; ++step) {
+    const u64 vpn = rng.below(24);
+    switch (rng.below(3)) {
+      case 0: {
+        const u64 frame = rng.below(1000);
+        tlb.insert(vpn, frame, true);
+        ref.insert(vpn, frame);
+        break;
+      }
+      case 1: {
+        tlb.invalidate(vpn);
+        ref.invalidate(vpn);
+        break;
+      }
+      default: {
+        u64 ref_frame = 0;
+        const bool ref_hit = ref.lookup(vpn, ref_frame);
+        const auto got = tlb.lookup(vpn);
+        ASSERT_EQ(got.has_value(), ref_hit) << "vpn " << vpn << " step " << step;
+        if (ref_hit) {
+          EXPECT_EQ(got->frame, ref_frame);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbFuzz, ::testing::Values(11u, 22u, 33u, 44u));
+
+// --- DRAM timing properties ---
+
+TEST(DramProperties, CompletionNeverBeforeStart) {
+  sim::Simulator sim;
+  DramConfig cfg;
+  cfg.size_bytes = 16 * MiB;
+  DramModel dram(cfg, sim.stats(), "d");
+  Rng rng(5);
+  Cycles now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.below(20);
+    const PhysAddr addr = rng.below(16 * MiB - 4096);
+    const u32 bytes = static_cast<u32>(1 + rng.below(2048));
+    const Cycles done = dram.access(addr, bytes, rng.chance(0.3), now);
+    ASSERT_GE(done, now + dram.config().t_cas);
+  }
+}
+
+TEST(DramProperties, SameBankRequestsNeverOverlap) {
+  sim::Simulator sim;
+  DramConfig cfg;
+  cfg.size_bytes = 16 * MiB;
+  DramModel dram(cfg, sim.stats(), "d");
+  // Issue many requests to one bank at time 0: completions strictly order.
+  Cycles prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Cycles done = dram.access(static_cast<u64>(i) * cfg.row_bytes * cfg.banks, 64, false, 0);
+    ASSERT_GT(done, prev);
+    prev = done;
+  }
+}
+
+TEST(DramProperties, ThroughputBoundedByBandwidth) {
+  sim::Simulator sim;
+  DramConfig cfg;
+  cfg.size_bytes = 16 * MiB;
+  DramModel dram(cfg, sim.stats(), "d");
+  // Stream 1 MiB sequentially; completion time must be at least
+  // bytes / data_bytes_per_cycle (the pin-rate bound).
+  Cycles done = 0;
+  const u64 total = 1 * MiB;
+  for (u64 off = 0; off < total; off += 2048)
+    done = dram.access(off, 2048, false, done);
+  EXPECT_GE(done, total / cfg.data_bytes_per_cycle);
+}
+
+}  // namespace
+}  // namespace vmsls::mem

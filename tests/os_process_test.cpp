@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "mem/mmu.hpp"
+#include "mem/walker.hpp"
+#include "rt/os.hpp"
+#include "rt/process.hpp"
+#include "test_util.hpp"
+
+namespace vmsls::rt {
+namespace {
+
+using test::MemorySystem;
+
+struct OsFixture : ::testing::Test {
+  MemorySystem ms;
+  OsConfig cfg;
+  std::unique_ptr<OsModel> os;
+  std::unique_ptr<Process> process;
+
+  void make(unsigned cores = 1) {
+    cfg.service_cores = cores;
+    os = std::make_unique<OsModel>(ms.sim, cfg, "os");
+    process = std::make_unique<Process>(ms.sim, ms.as, "proc");
+  }
+};
+
+TEST_F(OsFixture, ServiceTakesConfiguredTime) {
+  make();
+  Cycles done_at = 0;
+  os->exec_service(100, [&] { done_at = ms.sim.now(); });
+  ms.run_all();
+  EXPECT_EQ(done_at, 100u);
+}
+
+TEST_F(OsFixture, SingleCoreSerializesServices) {
+  make(1);
+  Cycles a = 0, b = 0;
+  os->exec_service(100, [&] { a = ms.sim.now(); });
+  os->exec_service(100, [&] { b = ms.sim.now(); });
+  ms.run_all();
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 200u);
+}
+
+TEST_F(OsFixture, TwoCoresOverlapServices) {
+  make(2);
+  Cycles a = 0, b = 0;
+  os->exec_service(100, [&] { a = ms.sim.now(); });
+  os->exec_service(100, [&] { b = ms.sim.now(); });
+  ms.run_all();
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 100u);
+}
+
+TEST_F(OsFixture, FaultHandlerMapsAndRetries) {
+  make();
+  FaultHandler fh(ms.sim, *os, *process, "fh");
+  const VirtAddr va = ms.as.alloc(4096);
+  bool retried = false;
+  mem::FaultRequest req;
+  req.va = va;
+  req.retry = [&] { retried = true; };
+  fh.raise(std::move(req));
+  ms.run_all();
+  EXPECT_TRUE(retried);
+  EXPECT_TRUE(ms.as.is_mapped(va));
+  EXPECT_EQ(fh.faults_serviced(), 1u);
+}
+
+TEST_F(OsFixture, FaultServiceChargesFullPath) {
+  make();
+  FaultHandler fh(ms.sim, *os, *process, "fh");
+  const VirtAddr va = ms.as.alloc(4096);
+  Cycles done_at = 0;
+  mem::FaultRequest req;
+  req.va = va;
+  req.retry = [&] { done_at = ms.sim.now(); };
+  fh.raise(std::move(req));
+  ms.run_all();
+  // At least irq + fault_service + map cost.
+  EXPECT_GE(done_at, cfg.irq_latency + cfg.fault_service + cfg.map_page_cost);
+}
+
+TEST_F(OsFixture, DelegatePortPaysDelegateCosts) {
+  make();
+  process->add_mailbox(4, "m");
+  DelegateOsPort port(ms.sim, *os, *process, "dp");
+  process->mailbox(0).put(5, [] {});
+  Cycles done_at = 0;
+  i64 got = 0;
+  port.mbox_get(0, [&](i64 v) {
+    got = v;
+    done_at = ms.sim.now();
+  });
+  ms.run_all();
+  EXPECT_EQ(got, 5);
+  EXPECT_GE(done_at, cfg.irq_latency + cfg.syscall_service + cfg.response_latency);
+}
+
+TEST_F(OsFixture, DirectPortIsCheaper) {
+  make();
+  process->add_mailbox(4, "m");
+  DirectOsPort direct(ms.sim, cfg, *process, "sp");
+  process->mailbox(0).put(5, [] {});
+  Cycles done_at = 0;
+  direct.mbox_get(0, [&](i64) { done_at = ms.sim.now(); });
+  ms.run_all();
+  EXPECT_EQ(done_at, cfg.sw_syscall);
+  EXPECT_LT(done_at, cfg.irq_latency);
+}
+
+TEST_F(OsFixture, BindingsRemapObjectIndices) {
+  make();
+  process->add_mailbox(4, "zero");
+  process->add_mailbox(4, "one");
+  DirectOsPort port(ms.sim, cfg, *process, "sp");
+  OsBindings b;
+  b.mailboxes = {1};  // kernel mailbox 0 -> process mailbox 1
+  port.set_bindings(b);
+  port.mbox_put(0, 77, [] {});
+  ms.run_all();
+  i64 v = 0;
+  EXPECT_FALSE(process->mailbox(0).try_get(v));
+  EXPECT_TRUE(process->mailbox(1).try_get(v));
+  EXPECT_EQ(v, 77);
+}
+
+TEST_F(OsFixture, UnboundIndexThrows) {
+  make();
+  process->add_mailbox(4, "only");
+  DirectOsPort port(ms.sim, cfg, *process, "sp");
+  OsBindings b;
+  b.mailboxes = {0};
+  port.set_bindings(b);
+  EXPECT_THROW(port.mbox_put(1, 1, [] {}), std::invalid_argument);
+}
+
+TEST_F(OsFixture, DelegateSemaphoreBlocksAndWakes) {
+  make();
+  process->add_semaphore(0, "s");
+  DelegateOsPort port(ms.sim, *os, *process, "dp");
+  bool acquired = false;
+  port.sem_wait(0, [&] { acquired = true; });
+  ms.run_all();
+  EXPECT_FALSE(acquired);
+  port.sem_post(0, [] {});
+  ms.run_all();
+  EXPECT_TRUE(acquired);
+}
+
+// --- process ---
+
+TEST_F(OsFixture, ProcessObjectTables) {
+  make();
+  process->add_mailbox(4, "a");
+  process->add_semaphore(1, "b");
+  EXPECT_EQ(process->mailbox_count(), 1u);
+  EXPECT_EQ(process->semaphore_count(), 1u);
+  EXPECT_EQ(process->mailbox(0).name(), "a");
+  EXPECT_THROW(process->mailbox(1), std::out_of_range);
+  EXPECT_THROW(process->semaphore(9), std::out_of_range);
+}
+
+TEST_F(OsFixture, ProcessEvictShootsDownTlbs) {
+  make();
+  mem::WalkerConfig wcfg;
+  mem::PageWalker walker(ms.sim, ms.bus, ms.pm, ms.as.page_table(), wcfg, "w");
+  mem::Mmu mmu(ms.sim, walker, mem::MmuConfig{}, "mmu", 0);
+  process->register_mmu(&mmu);
+  process->register_walker(&walker);
+
+  const VirtAddr va = ms.as.alloc(4096);
+  ms.as.populate(va, 4096);
+  // Warm the TLB.
+  bool done = false;
+  mmu.translate(va, false, [&](PhysAddr) { done = true; });
+  ms.run_all();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(mmu.tlb().peek(va >> 12).has_value());
+
+  EXPECT_EQ(process->evict(va, 4096), 1u);
+  EXPECT_FALSE(mmu.tlb().peek(va >> 12).has_value());
+  EXPECT_EQ(process->shootdowns(), 1u);
+}
+
+TEST_F(OsFixture, ShootdownAllFlushesEverything) {
+  make();
+  mem::WalkerConfig wcfg;
+  mem::PageWalker walker(ms.sim, ms.bus, ms.pm, ms.as.page_table(), wcfg, "w");
+  mem::Mmu mmu(ms.sim, walker, mem::MmuConfig{}, "mmu", 0);
+  process->register_mmu(&mmu);
+  const VirtAddr va = ms.as.alloc(2 * 4096);
+  ms.as.populate(va, 2 * 4096);
+  for (int i = 0; i < 2; ++i) {
+    mmu.translate(va + static_cast<u64>(i) * 4096, false, [](PhysAddr) {});
+  }
+  ms.run_all();
+  process->shootdown_all();
+  EXPECT_FALSE(mmu.tlb().peek(va >> 12).has_value());
+}
+
+}  // namespace
+}  // namespace vmsls::rt

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "mem/frames.hpp"
+#include "mem/pagetable.hpp"
+#include "mem/physmem.hpp"
+
+namespace vmsls::mem {
+namespace {
+
+struct PtFixture {
+  PhysicalMemory pm{64 * MiB};
+  FrameAllocator frames;
+  PageTable pt;
+
+  explicit PtFixture(PageTableConfig cfg = {})
+      : frames(0, (64 * MiB) >> cfg.page_bits, 1ull << cfg.page_bits), pt(pm, frames, cfg) {}
+};
+
+TEST(Pte, EncodeDecodeRoundTrip) {
+  Pte p;
+  p.valid = true;
+  p.writable = true;
+  p.accessed = true;
+  p.dirty = false;
+  p.frame = 0x12345;
+  const Pte q = Pte::decode(p.encode());
+  EXPECT_EQ(q.valid, p.valid);
+  EXPECT_EQ(q.writable, p.writable);
+  EXPECT_EQ(q.accessed, p.accessed);
+  EXPECT_EQ(q.dirty, p.dirty);
+  EXPECT_EQ(q.frame, p.frame);
+}
+
+TEST(Pte, ZeroIsInvalid) { EXPECT_FALSE(Pte::decode(0).valid); }
+
+TEST(PageTable, LevelCountsMatchGeometry) {
+  // 4 KiB pages: 9-bit indices over a 32-bit VA -> 3 levels.
+  PtFixture f4(PageTableConfig{32, 12});
+  EXPECT_EQ(f4.pt.levels(), 3u);
+  EXPECT_EQ(f4.pt.index_bits(), 9u);
+  // 64 KiB pages: 13-bit indices -> 2 levels.
+  PtFixture f64(PageTableConfig{32, 16});
+  EXPECT_EQ(f64.pt.levels(), 2u);
+  // 2 MiB pages: 18-bit indices -> 1 level.
+  PtFixture f2m(PageTableConfig{32, 21});
+  EXPECT_EQ(f2m.pt.levels(), 1u);
+}
+
+TEST(PageTable, UnmappedLookupIsEmpty) {
+  PtFixture f;
+  EXPECT_FALSE(f.pt.lookup(0x4000).has_value());
+  EXPECT_FALSE(f.pt.is_mapped(0x4000));
+}
+
+TEST(PageTable, MapThenLookup) {
+  PtFixture f;
+  const u64 frame = f.frames.alloc();
+  f.pt.map(0x7000, frame, true);
+  const auto pte = f.pt.lookup(0x7abc);  // same page, any offset
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->frame, frame);
+  EXPECT_TRUE(pte->writable);
+}
+
+TEST(PageTable, ReadOnlyMapping) {
+  PtFixture f;
+  f.pt.map(0x3000, f.frames.alloc(), false);
+  EXPECT_FALSE(f.pt.lookup(0x3000)->writable);
+}
+
+TEST(PageTable, DoubleMapThrows) {
+  PtFixture f;
+  f.pt.map(0x1000, f.frames.alloc(), true);
+  EXPECT_THROW(f.pt.map(0x1234, f.frames.alloc(), true), std::logic_error);
+}
+
+TEST(PageTable, UnmapInvalidates) {
+  PtFixture f;
+  f.pt.map(0x5000, f.frames.alloc(), true);
+  f.pt.unmap(0x5000);
+  EXPECT_FALSE(f.pt.is_mapped(0x5000));
+  EXPECT_THROW(f.pt.unmap(0x5000), std::logic_error);
+}
+
+TEST(PageTable, UnmapOfNeverMappedThrows) {
+  PtFixture f;
+  EXPECT_THROW(f.pt.unmap(0x9000), std::logic_error);
+}
+
+TEST(PageTable, DistinctPagesIndependent) {
+  PtFixture f;
+  const u64 fa = f.frames.alloc(), fb = f.frames.alloc();
+  f.pt.map(0x1000, fa, true);
+  f.pt.map(0x2000, fb, true);
+  EXPECT_EQ(f.pt.lookup(0x1000)->frame, fa);
+  EXPECT_EQ(f.pt.lookup(0x2000)->frame, fb);
+  f.pt.unmap(0x1000);
+  EXPECT_TRUE(f.pt.is_mapped(0x2000));
+}
+
+TEST(PageTable, InteriorTablesAllocatedOnDemand) {
+  PtFixture f;
+  const u64 before = f.pt.table_frames();
+  // Two VAs far apart require distinct interior chains.
+  f.pt.map(0x0000'1000, f.frames.alloc(), true);
+  f.pt.map(0x4000'0000ull & 0xffff'ffff, f.frames.alloc(), true);
+  EXPECT_GT(f.pt.table_frames(), before);
+}
+
+TEST(PageTable, VaWidthEnforced) {
+  PtFixture f(PageTableConfig{32, 12});
+  EXPECT_THROW(f.pt.lookup(1ull << 32), std::out_of_range);
+  EXPECT_THROW(f.pt.map(1ull << 32, 0, true), std::out_of_range);
+}
+
+TEST(PageTable, AccessedDirtyBits) {
+  PtFixture f;
+  f.pt.map(0x1000, f.frames.alloc(), true);
+  f.pt.set_accessed_dirty(0x1000, false);
+  EXPECT_TRUE(f.pt.lookup(0x1000)->accessed);
+  EXPECT_FALSE(f.pt.lookup(0x1000)->dirty);
+  f.pt.set_accessed_dirty(0x1000, true);
+  EXPECT_TRUE(f.pt.lookup(0x1000)->dirty);
+}
+
+TEST(PageTable, IndexDecomposition) {
+  PtFixture f(PageTableConfig{32, 12});
+  // va = idx0:idx1:idx2:offset with 2,9,9,12 bits (top level partial):
+  // level-0 shift is 30, level-1 is 21, level-2 is 12.
+  const VirtAddr va = (1ull << 30) | (5ull << 21) | (7ull << 12) | 0x123;
+  EXPECT_EQ(f.pt.index_at(va, 0), 1u);
+  EXPECT_EQ(f.pt.index_at(va, 1), 5u);
+  EXPECT_EQ(f.pt.index_at(va, 2), 7u);
+}
+
+TEST(PageTable, RejectsMismatchedFrameGranularity) {
+  PhysicalMemory pm{4 * MiB};
+  FrameAllocator frames(0, 1024, 4 * KiB);
+  EXPECT_THROW(PageTable(pm, frames, PageTableConfig{32, 16}), std::invalid_argument);
+}
+
+// Parameterized sweep: map/lookup/unmap behaves for every page size.
+class PageSizeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PageSizeSweep, MapLookupUnmapAtEveryGeometry) {
+  const unsigned page_bits = GetParam();
+  PtFixture f(PageTableConfig{32, page_bits});
+  const u64 page = 1ull << page_bits;
+  for (u64 i = 0; i < 8; ++i) {
+    const VirtAddr va = (i + 1) * page;
+    const u64 frame = f.frames.alloc();
+    f.pt.map(va, frame, (i % 2) == 0);
+    const auto pte = f.pt.lookup(va + page / 2);
+    ASSERT_TRUE(pte.has_value());
+    EXPECT_EQ(pte->frame, frame);
+    EXPECT_EQ(pte->writable, (i % 2) == 0);
+  }
+  for (u64 i = 0; i < 8; ++i) f.pt.unmap((i + 1) * page);
+  for (u64 i = 0; i < 8; ++i) EXPECT_FALSE(f.pt.is_mapped((i + 1) * page));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PageSizeSweep, ::testing::Values(12u, 14u, 16u, 21u));
+
+}  // namespace
+}  // namespace vmsls::mem

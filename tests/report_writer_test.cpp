@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "hwt/builder.hpp"
+#include "sls/report_writer.hpp"
+#include "sls/synthesis.hpp"
+
+namespace vmsls::sls {
+namespace {
+
+SynthesisReport make_report() {
+  hwt::KernelBuilder kb("k");
+  kb.mbox_get(1, 0).mbox_put(1, 1).halt();
+  AppSpec app;
+  app.name = "rep";
+  app.add_mailbox("args", 8);
+  app.add_mailbox("done", 4);
+  app.add_hw_thread("worker", kb.build(), {"args", "done"});
+  SynthesisFlow flow(zynq7020());
+  return flow.synthesize(app).report();
+}
+
+TEST(ReportWriter, MarkdownContainsAllSections) {
+  std::ostringstream os;
+  write_report_markdown(os, make_report(), "demo report");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# demo report"), std::string::npos);
+  EXPECT_NE(s.find("## Resources"), std::string::npos);
+  EXPECT_NE(s.find("## Address map"), std::string::npos);
+  EXPECT_NE(s.find("## Pass timings"), std::string::npos);
+  EXPECT_NE(s.find("hwt:worker"), std::string::npos);
+  EXPECT_NE(s.find("**total**"), std::string::npos);
+}
+
+TEST(ReportWriter, MarkdownListsDemotions) {
+  SynthesisReport report = make_report();
+  report.demoted_threads.push_back("slowpoke");
+  std::ostringstream os;
+  write_report_markdown(os, report, "t");
+  EXPECT_NE(os.str().find("demoted to software: slowpoke"), std::string::npos);
+}
+
+TEST(ReportWriter, StatsCsvRoundTrip) {
+  StatRegistry stats;
+  stats.counter("a.b").add(5);
+  stats.histogram("h").record(16);
+  std::ostringstream os;
+  write_stats_csv(os, stats);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name,value"), std::string::npos);
+  EXPECT_NE(s.find("a.b,5"), std::string::npos);
+  EXPECT_NE(s.find("h.count,1"), std::string::npos);
+  EXPECT_NE(s.find("h.mean,16"), std::string::npos);
+}
+
+TEST(ReportWriter, FileWritersCreateFiles) {
+  const std::string dir = ::testing::TempDir();
+  save_report_markdown(dir + "/report.md", make_report(), "file test");
+  StatRegistry stats;
+  stats.counter("x").add(1);
+  save_stats_csv(dir + "/stats.csv", stats);
+  std::ifstream md(dir + "/report.md"), csv(dir + "/stats.csv");
+  EXPECT_TRUE(md.good());
+  EXPECT_TRUE(csv.good());
+}
+
+TEST(ReportWriter, BadPathThrows) {
+  StatRegistry stats;
+  EXPECT_THROW(save_stats_csv("/nonexistent-dir-xyz/s.csv", stats), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vmsls::sls

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::sim {
+namespace {
+
+TEST(Simulator, StartsAtCycleZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(10, [&] { order.push_back(2); });
+  s.schedule_in(5, [&] { order.push_back(1); });
+  s.schedule_in(20, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 20u);
+}
+
+TEST(Simulator, SameCycleIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_in(7, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ZeroDelayRunsLaterSameCycle) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(0, [&] {
+    order.push_back(1);
+    s.schedule_in(0, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 0u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1, [&] {
+    ++fired;
+    s.schedule_in(4, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 5u);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_in(10, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_in(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunRespectsDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(10, [&] { ++fired; });
+  s.schedule_in(100, [&] { ++fired; });
+  s.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.idle());
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsEventsExecuted) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_in(static_cast<Cycles>(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator s;
+    std::vector<Cycles> times;
+    for (int i = 0; i < 50; ++i)
+      s.schedule_in(static_cast<Cycles>((i * 37) % 17), [&times, &s] { times.push_back(s.now()); });
+    s.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, StatsRegistryShared) {
+  Simulator s;
+  s.stats().counter("x").add(3);
+  EXPECT_EQ(s.stats().counter_value("x"), 3u);
+}
+
+// --- clock domains ---
+
+TEST(ClockDomain, UnityRatioIsIdentity) {
+  ClockDomain c{1, 1};
+  EXPECT_EQ(c.to_ref(17), 17u);
+  EXPECT_EQ(c.from_ref(17), 17u);
+}
+
+TEST(ClockDomain, FasterDomainCompressesToRef) {
+  ClockDomain cpu{10, 3};  // 3.33x faster than fabric
+  EXPECT_EQ(cpu.to_ref(10), 3u);   // 10 CPU cycles = 3 fabric cycles
+  EXPECT_EQ(cpu.to_ref(1), 1u);    // rounds up
+  EXPECT_EQ(cpu.to_ref(11), 4u);   // 3.3 -> 4
+  EXPECT_EQ(cpu.from_ref(3), 10u);
+}
+
+TEST(ClockDomain, RatioValue) {
+  ClockDomain c{10, 3};
+  EXPECT_NEAR(c.ratio(), 3.333, 0.001);
+}
+
+TEST(ClockDomain, ToRefNeverLosesWork) {
+  ClockDomain c{7, 2};
+  for (Cycles local = 1; local < 100; ++local) {
+    const Cycles ref = c.to_ref(local);
+    // Converting back must cover at least the original local cycles.
+    EXPECT_GE(c.from_ref(ref) + 1, local);
+  }
+}
+
+}  // namespace
+}  // namespace vmsls::sim

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "rt/sync.hpp"
+
+namespace vmsls::rt {
+namespace {
+
+TEST(Mailbox, PutThenGet) {
+  Mailbox m(4);
+  bool put_done = false;
+  m.put(42, [&] { put_done = true; });
+  EXPECT_TRUE(put_done);
+  i64 got = 0;
+  m.get([&](i64 v) { got = v; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Mailbox, GetBlocksUntilPut) {
+  Mailbox m(4);
+  i64 got = -1;
+  m.get([&](i64 v) { got = v; });
+  EXPECT_EQ(got, -1);
+  EXPECT_EQ(m.waiting_takers(), 1u);
+  m.put(7, [] {});
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(m.waiting_takers(), 0u);
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox m(8);
+  for (i64 v = 0; v < 5; ++v) m.put(v, [] {});
+  std::vector<i64> got;
+  for (int i = 0; i < 5; ++i) m.get([&](i64 v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<i64>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mailbox, PutBlocksWhenFull) {
+  Mailbox m(2);
+  m.put(1, [] {});
+  m.put(2, [] {});
+  bool third_done = false;
+  m.put(3, [&] { third_done = true; });
+  EXPECT_FALSE(third_done);
+  EXPECT_EQ(m.waiting_putters(), 1u);
+  i64 got = 0;
+  m.get([&](i64 v) { got = v; });
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(third_done);  // space freed -> queued put lands
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Mailbox, TryGetNonBlocking) {
+  Mailbox m(2);
+  i64 v = 0;
+  EXPECT_FALSE(m.try_get(v));
+  m.put(9, [] {});
+  EXPECT_TRUE(m.try_get(v));
+  EXPECT_EQ(v, 9);
+}
+
+TEST(Mailbox, TryGetDrainsBlockedPutters) {
+  Mailbox m(1);
+  m.put(1, [] {});
+  bool second = false;
+  m.put(2, [&] { second = true; });
+  i64 v = 0;
+  EXPECT_TRUE(m.try_get(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(second);
+  EXPECT_TRUE(m.try_get(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(Mailbox, ManyWaitersServedInOrder) {
+  Mailbox m(1);
+  std::vector<i64> got;
+  for (int i = 0; i < 3; ++i) m.get([&](i64 v) { got.push_back(v); });
+  m.put(10, [] {});
+  m.put(20, [] {});
+  m.put(30, [] {});
+  EXPECT_EQ(got, (std::vector<i64>{10, 20, 30}));
+}
+
+TEST(Mailbox, ZeroDepthRejected) { EXPECT_THROW(Mailbox(0), std::invalid_argument); }
+
+TEST(Semaphore, InitialCountConsumable) {
+  Semaphore s(2);
+  int acquired = 0;
+  s.wait([&] { ++acquired; });
+  s.wait([&] { ++acquired; });
+  EXPECT_EQ(acquired, 2);
+  s.wait([&] { ++acquired; });
+  EXPECT_EQ(acquired, 2);  // blocked
+  EXPECT_EQ(s.waiters(), 1u);
+  s.post();
+  EXPECT_EQ(acquired, 3);
+}
+
+TEST(Semaphore, PostWithoutWaitersAccumulates) {
+  Semaphore s(0);
+  s.post();
+  s.post();
+  EXPECT_EQ(s.count(), 2u);
+  int n = 0;
+  s.wait([&] { ++n; });
+  s.wait([&] { ++n; });
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Semaphore, WakesInFifoOrder) {
+  Semaphore s(0);
+  std::vector<int> order;
+  s.wait([&] { order.push_back(1); });
+  s.wait([&] { order.push_back(2); });
+  s.post();
+  s.post();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Mutex, ExcludesSecondLocker) {
+  Mutex mx;
+  bool first = false, second = false;
+  mx.lock([&] { first = true; });
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(mx.locked());
+  mx.lock([&] { second = true; });
+  EXPECT_FALSE(second);
+  mx.unlock();
+  EXPECT_TRUE(second);
+}
+
+TEST(Barrier, ReleasesOnLastArrival) {
+  Barrier b(3);
+  int released = 0;
+  b.arrive([&] { ++released; });
+  b.arrive([&] { ++released; });
+  EXPECT_EQ(released, 0);
+  b.arrive([&] { ++released; });
+  EXPECT_EQ(released, 3);
+}
+
+TEST(Barrier, ReusableAcrossRounds) {
+  Barrier b(2);
+  int rounds = 0;
+  for (int r = 0; r < 3; ++r) {
+    b.arrive([&] {});
+    b.arrive([&] { ++rounds; });
+  }
+  EXPECT_EQ(rounds, 3);
+}
+
+TEST(Barrier, ZeroPartiesRejected) { EXPECT_THROW(Barrier(0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace vmsls::rt

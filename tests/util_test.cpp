@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace vmsls {
+namespace {
+
+// --- units / bit helpers ---
+
+TEST(Units, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(Units, AlignDown) {
+  EXPECT_EQ(align_down(0, 4096), 0u);
+  EXPECT_EQ(align_down(4095, 4096), 0u);
+  EXPECT_EQ(align_down(4096, 4096), 4096u);
+  EXPECT_EQ(align_down(8191, 4096), 4096u);
+}
+
+TEST(Units, AlignUp) {
+  EXPECT_EQ(align_up(0, 4096), 0u);
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+TEST(Units, IsAligned) {
+  EXPECT_TRUE(is_aligned(0, 8));
+  EXPECT_TRUE(is_aligned(64, 8));
+  EXPECT_FALSE(is_aligned(65, 8));
+}
+
+TEST(Units, Log2i) {
+  EXPECT_EQ(log2i(1), 0u);
+  EXPECT_EQ(log2i(2), 1u);
+  EXPECT_EQ(log2i(3), 1u);
+  EXPECT_EQ(log2i(4096), 12u);
+  EXPECT_EQ(log2i(1ull << 33), 33u);
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+}
+
+TEST(Units, RequireThrowsOnFalse) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+  EXPECT_THROW(ensure(false, "bad"), std::logic_error);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64 * KiB), "64 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB), "3 MiB");
+  EXPECT_EQ(format_bytes(2 * GiB), "2 GiB");
+  EXPECT_EQ(format_bytes(KiB + 1), "1025 B");
+}
+
+// --- RNG ---
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool low = false, high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    low |= (v == 5);
+    high |= (v == 8);
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(5);
+  const u64 first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+// --- statistics ---
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BasicMoments) {
+  Histogram h;
+  h.record(1);
+  h.record(3);
+  h.record(8);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  for (u64 v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_LE(h.percentile(0.1), h.percentile(0.5));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(100);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(StatRegistry, CountersByName) {
+  StatRegistry reg;
+  reg.counter("a.hits").add(3);
+  reg.counter("a.hits").add(2);
+  EXPECT_EQ(reg.counter_value("a.hits"), 5u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_TRUE(reg.has_counter("a.hits"));
+  EXPECT_FALSE(reg.has_counter("missing"));
+}
+
+TEST(StatRegistry, SnapshotIncludesHistograms) {
+  StatRegistry reg;
+  reg.counter("c").add(7);
+  reg.histogram("h").record(4);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("c"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.at("h.count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("h.mean"), 4.0);
+}
+
+TEST(StatRegistry, ResetClearsAll) {
+  StatRegistry reg;
+  reg.counter("c").add(7);
+  reg.histogram("h").record(4);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+// --- table ---
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintContainsHeaderAndCells) {
+  Table t({"name", "value"});
+  t.add_row({"x", "42"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(u64{42}), "42");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace vmsls

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sls/synthesis.hpp"
+#include "sls/system.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vmsls::workloads {
+namespace {
+
+WorkloadParams small_params(const std::string& name) {
+  WorkloadParams p;
+  // Keep runtimes short while still crossing page and tile boundaries.
+  if (name == "matmul")
+    p.n = 12;
+  else if (name == "conv2d")
+    p.n = 16;
+  else if (name == "histogram")
+    p.n = 8192;  // bytes; tile*8 = 2048 divides it
+  else
+    p.n = 1024;
+  p.tile = 256;
+  return p;
+}
+
+/// Synthesizes, elaborates, runs, verifies. Returns elapsed cycles.
+Cycles run_workload(const Workload& wl, sls::ThreadKind kind, bool* verified) {
+  const auto app = single_thread_app(wl, kind);
+  sls::SynthesisFlow flow(sls::zynq7020());
+  const auto image = flow.synthesize(app);
+  sim::Simulator sim;
+  auto system = image.elaborate(sim);
+  wl.setup(*system);
+  system->start_all();
+  const Cycles cycles = system->run_to_completion(500'000'000ull);
+  *verified = wl.verify(*system);
+  return cycles;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllWorkloads, HardwareThreadComputesCorrectResult) {
+  const std::string name = GetParam();
+  const Workload wl = make_workload(name, small_params(name));
+  bool ok = false;
+  const Cycles cycles = run_workload(wl, sls::ThreadKind::kHardware, &ok);
+  EXPECT_TRUE(ok) << name << " output mismatch";
+  EXPECT_GT(cycles, 0u);
+}
+
+TEST_P(AllWorkloads, SoftwareThreadComputesCorrectResult) {
+  const std::string name = GetParam();
+  const Workload wl = make_workload(name, small_params(name));
+  bool ok = false;
+  run_workload(wl, sls::ThreadKind::kSoftware, &ok);
+  EXPECT_TRUE(ok) << name << " output mismatch";
+}
+
+TEST_P(AllWorkloads, DeterministicCycleCounts) {
+  const std::string name = GetParam();
+  const Workload wl = make_workload(name, small_params(name));
+  bool ok1 = false, ok2 = false;
+  const Cycles a = run_workload(wl, sls::ThreadKind::kHardware, &ok1);
+  const Cycles b = run_workload(wl, sls::ThreadKind::kHardware, &ok2);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllWorkloads, ::testing::ValuesIn(workload_names()));
+
+TEST(WorkloadRegistry, NamesRoundTrip) {
+  for (const auto& name : workload_names()) {
+    const Workload wl = make_workload(name, small_params(name));
+    EXPECT_EQ(wl.name, name);
+    EXPECT_FALSE(wl.kernel.empty());
+    EXPECT_FALSE(wl.buffers.empty());
+  }
+  EXPECT_THROW(make_workload("nope", WorkloadParams{}), std::out_of_range);
+}
+
+TEST(WorkloadRegistry, ParamValidation) {
+  WorkloadParams bad;
+  bad.n = 1000;
+  bad.tile = 256;  // 1000 % 256 != 0
+  EXPECT_THROW(make_vecadd_burst(bad), std::invalid_argument);
+  bad.n = 0;
+  EXPECT_THROW(make_vecadd(bad), std::invalid_argument);
+  WorkloadParams tiny;
+  tiny.n = 1;
+  EXPECT_THROW(make_pointer_chase(tiny), std::invalid_argument);
+}
+
+TEST(WorkloadComparisons, HardwareBeatsSoftwareOnMatmul) {
+  WorkloadParams p;
+  p.n = 16;
+  const Workload wl = make_matmul(p);
+  bool ok = false;
+  const Cycles hw = run_workload(wl, sls::ThreadKind::kHardware, &ok);
+  ASSERT_TRUE(ok);
+  const Cycles sw = run_workload(wl, sls::ThreadKind::kSoftware, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_LT(hw, sw);  // compute-dense kernel should win on fabric
+}
+
+TEST(WorkloadComparisons, BurstBeatsElementwiseOnSaxpy) {
+  WorkloadParams p;
+  p.n = 4096;
+  p.tile = 256;
+  bool ok = false;
+  const Cycles burst = run_workload(make_saxpy_burst(p), sls::ThreadKind::kHardware, &ok);
+  ASSERT_TRUE(ok);
+  const Cycles element = run_workload(make_saxpy(p), sls::ThreadKind::kHardware, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_LT(burst, element);
+}
+
+}  // namespace
+}  // namespace vmsls::workloads

@@ -1,0 +1,84 @@
+// vmsls_synth — synthesis-only driver.
+//
+// Synthesizes an application around a workload and prints the toolflow
+// artifacts: the resource report, the address map, the kernel disassembly,
+// and the structural netlist (text or Verilog stub). Nothing is simulated.
+//
+//   vmsls_synth --workload matmul --n 48
+//   vmsls_synth --workload conv2d --verilog
+//   vmsls_synth --workload saxpy --disasm
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hwt/kernel.hpp"
+#include "sls/synthesis.hpp"
+#include "util/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace vmsls;
+
+int main(int argc, char** argv) {
+  std::string workload = "vecadd";
+  u64 n = 4096;
+  std::string platform = "7020";
+  bool verilog = false, netlist = false, disasm = false, auto_partition = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--workload") workload = value();
+      else if (arg == "--n") n = std::stoull(value());
+      else if (arg == "--platform") platform = value();
+      else if (arg == "--verilog") verilog = true;
+      else if (arg == "--netlist") netlist = true;
+      else if (arg == "--disasm") disasm = true;
+      else if (arg == "--auto-partition") auto_partition = true;
+      else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: vmsls_synth [--workload NAME] [--n N] [--platform 7020|7045]\n"
+                     "                   [--netlist] [--verilog] [--disasm] [--auto-partition]\n";
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown option " + arg);
+      }
+    }
+
+    workloads::WorkloadParams params;
+    params.n = n;
+    const auto wl = workloads::make_workload(workload, params);
+    const auto app = workloads::single_thread_app(wl, sls::ThreadKind::kHardware);
+
+    sls::SynthesisOptions opts;
+    if (auto_partition) opts.partition = sls::PartitionMode::kAuto;
+    sls::SynthesisFlow flow(platform == "7045" ? sls::zynq7045() : sls::zynq7020(), opts);
+    const auto image = flow.synthesize(app);
+
+    std::cout << image.report().to_string() << "\n";
+
+    Table map({"component", "base", "size"});
+    for (const auto& e : image.report().address_map) {
+      std::ostringstream base;
+      base << "0x" << std::hex << e.base;
+      map.add_row({e.component, base.str(), Table::num(e.size)});
+    }
+    map.print(std::cout, "address map");
+
+    Table timings({"pass", "microseconds"});
+    for (const auto& t : image.report().pass_timings)
+      timings.add_row({t.pass, Table::num(t.microseconds, 1)});
+    timings.print(std::cout, "pass timings");
+
+    if (disasm) std::cout << "\n" << hwt::disassemble(wl.kernel);
+    if (netlist) std::cout << "\n" << image.netlist().to_text();
+    if (verilog) std::cout << "\n" << image.netlist().to_verilog();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
