@@ -36,6 +36,9 @@ struct RunOptions {
   bool pinned_buffers = true;
   /// Runs after setup, before the threads start (evictions, extra args...).
   std::function<void(sls::System&)> pre_run;
+  /// Runs after completion + verification, with the live stat registry
+  /// still in scope (pager summaries, CSV dumps...).
+  std::function<void(sls::System&, sim::Simulator&)> post_run;
   Cycles max_cycles = 4'000'000'000ull;
 };
 
@@ -58,6 +61,7 @@ inline RunResult run_workload(const workloads::Workload& wl, const RunOptions& o
     throw std::runtime_error("workload '" + wl.name + "' failed verification in a bench run");
   r.stats = sim.stats().snapshot();
   r.report = image.report();
+  if (opt.post_run) opt.post_run(*system, sim);
   return r;
 }
 

@@ -53,7 +53,7 @@ void BM_FunctionalPageWalk(benchmark::State& state) {
   mem::PhysicalMemory pm(64 * MiB);
   mem::FrameAllocator frames(0, (64 * MiB) / (4 * KiB), 4 * KiB);
   mem::PageTable pt(pm, frames, mem::PageTableConfig{});
-  for (u64 p = 0; p < 256; ++p) pt.map(0x10000 + p * 4096, frames.alloc(), true);
+  for (u64 p = 0; p < 256; ++p) pt.map(0x10000 + p * 4096, *frames.alloc(), true);
   Rng rng(3);
   for (auto _ : state) {
     const VirtAddr va = 0x10000 + rng.below(256) * 4096;

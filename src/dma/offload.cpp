@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,7 +30,11 @@ PinnedBuffer OffloadDriver::alloc_pinned(u64 bytes) {
   const u64 frame_bytes = frames.frame_bytes();
   const u64 count = ceil_div(bytes, frame_bytes);
   PinnedBuffer buf;
-  buf.first_frame = frames.alloc_contiguous(count);
+  const auto first = frames.alloc_contiguous(count);
+  if (!first)
+    throw std::runtime_error("OffloadDriver: no contiguous run of " + std::to_string(count) +
+                             " frames for a pinned buffer");
+  buf.first_frame = *first;
   buf.frame_count = count;
   buf.bytes = bytes;
   buf.pa = frames.frame_addr(buf.first_frame);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace vmsls::mem {
 
@@ -30,17 +31,23 @@ std::vector<u8>& AddressSpace::backing_page(u64 vpn) {
 u64 AddressSpace::map_page(VirtAddr va, bool writable) {
   const u64 page = page_bytes();
   const VirtAddr base = align_down(va, page);
-  const u64 frame = frames_.alloc();
-  const PhysAddr pa = frames_.frame_addr(frame);
+  // Under exhaustion, reclaim enough for the data frame plus any interior
+  // table frames pt_.map may need to create below (at most levels - 1).
+  auto frame = frames_.alloc();
+  if (!frame && reclaim_ && reclaim_(pt_.levels()) > 0) frame = frames_.alloc();
+  if (!frame)
+    throw std::runtime_error("AddressSpace: out of physical frames and nothing reclaimable");
+  const PhysAddr pa = frames_.frame_addr(*frame);
   auto it = backing_.find(base / page);
   if (it != backing_.end())
     pm_.write(pa, std::span<const u8>(it->second.data(), it->second.size()));
   else
     pm_.clear(pa, page);
-  pt_.map(base, frame, writable);
-  ++resident_pages_;
+  pt_.map(base, *frame, writable);
+  resident_vpns_.insert(base / page);
   ++demand_maps_;
-  return frame;
+  if (observer_) observer_->on_map(base / page);
+  return *frame;
 }
 
 void AddressSpace::populate(VirtAddr va, u64 bytes) {
@@ -60,8 +67,9 @@ u64 AddressSpace::evict(VirtAddr va, u64 bytes) {
     pm_.read(pa, std::span<u8>(store.data(), store.size()));
     pt_.unmap(p);
     frames_.free(pte->frame);
-    --resident_pages_;
+    resident_vpns_.erase(p / page);
     ++evicted;
+    if (observer_) observer_->on_unmap(p / page, pte->dirty);
   }
   return evicted;
 }
@@ -81,6 +89,7 @@ void AddressSpace::read(VirtAddr va, std::span<u8> out) {
     const u64 off = a & (page - 1);
     const u64 n = std::min<u64>(page - off, out.size() - done);
     if (!pt_.is_mapped(a)) map_page(a);
+    if (observer_) pt_.set_accessed_dirty(a, /*dirty=*/false);
     pm_.read(*translate(a), out.subspan(done, n));
     done += n;
   }
@@ -94,6 +103,7 @@ void AddressSpace::write(VirtAddr va, std::span<const u8> data) {
     const u64 off = a & (page - 1);
     const u64 n = std::min<u64>(page - off, data.size() - done);
     if (!pt_.is_mapped(a)) map_page(a);
+    if (observer_) pt_.set_accessed_dirty(a, /*dirty=*/true);
     pm_.write(*translate(a), data.subspan(done, n));
     done += n;
   }

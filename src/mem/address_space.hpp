@@ -9,7 +9,9 @@
 // content.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +21,17 @@
 #include "mem/physmem.hpp"
 
 namespace vmsls::mem {
+
+/// Watches residency changes in an address space. The pager daemon uses
+/// this to keep its replacement policy in sync with *every* map/unmap —
+/// including eager populates at load time and experiment-setup evictions —
+/// not just the ones it initiates itself.
+class ResidencyObserver {
+ public:
+  virtual ~ResidencyObserver() = default;
+  virtual void on_map(u64 vpn) = 0;
+  virtual void on_unmap(u64 vpn, bool dirty) = 0;
+};
 
 class AddressSpace {
  public:
@@ -73,8 +86,27 @@ class AddressSpace {
   void write_u32(VirtAddr va, u32 v) { write_scalar<u32>(va, v); }
 
   /// Pages currently resident (mapped leaf PTEs created through this API).
-  u64 resident_pages() const noexcept { return resident_pages_; }
+  u64 resident_pages() const noexcept { return static_cast<u64>(resident_vpns_.size()); }
   u64 faults_serviced() const noexcept { return demand_maps_; }
+
+  /// Iterates resident virtual page numbers in ascending order.
+  void for_each_resident(const std::function<void(u64)>& fn) const {
+    for (const u64 vpn : resident_vpns_) fn(vpn);
+  }
+
+  /// True when the backing store holds saved contents for the page (it has
+  /// been evicted at least once).
+  bool has_backing(u64 vpn) const { return backing_.count(vpn) != 0; }
+
+  /// At most one observer; pass nullptr to detach.
+  void set_residency_observer(ResidencyObserver* obs) noexcept { observer_ = obs; }
+
+  /// Last-resort reclaim under frame exhaustion: called with the number of
+  /// frames needed; returns frames actually freed. map_page retries the
+  /// allocation once after invoking it. Pass nullptr (or an empty function)
+  /// to detach.
+  using ReclaimHook = std::function<u64(u64)>;
+  void set_reclaim_hook(ReclaimHook hook) { reclaim_ = std::move(hook); }
 
  private:
   std::vector<u8>& backing_page(u64 vpn);
@@ -84,8 +116,10 @@ class AddressSpace {
   PageTable pt_;
   VirtAddr brk_;
   std::unordered_map<u64, std::vector<u8>> backing_;  // vpn -> page contents
-  u64 resident_pages_ = 0;
+  std::set<u64> resident_vpns_;  // ordered: deterministic policy seeding
   u64 demand_maps_ = 0;
+  ResidencyObserver* observer_ = nullptr;
+  ReclaimHook reclaim_;
 };
 
 }  // namespace vmsls::mem

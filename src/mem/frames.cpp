@@ -19,8 +19,8 @@ u64 FrameAllocator::index_of(u64 frame) const {
   return (pa - base_) / frame_bytes_;
 }
 
-u64 FrameAllocator::alloc() {
-  if (free_count_ == 0) throw std::runtime_error("FrameAllocator: out of physical frames");
+std::optional<u64> FrameAllocator::alloc() {
+  if (free_count_ == 0) return std::nullopt;
   for (u64 i = 0; i < total_; ++i) {
     const u64 idx = (scan_hint_ + i) % total_;
     if (!used_[idx]) {
@@ -33,9 +33,9 @@ u64 FrameAllocator::alloc() {
   throw std::runtime_error("FrameAllocator: inconsistent free count");
 }
 
-u64 FrameAllocator::alloc_contiguous(u64 count) {
+std::optional<u64> FrameAllocator::alloc_contiguous(u64 count) {
   require(count > 0, "must allocate at least one frame");
-  if (count > free_count_) throw std::runtime_error("FrameAllocator: out of physical frames");
+  if (count > free_count_) return std::nullopt;
   u64 run = 0;
   for (u64 idx = 0; idx < total_; ++idx) {
     run = used_[idx] ? 0 : run + 1;
@@ -46,8 +46,7 @@ u64 FrameAllocator::alloc_contiguous(u64 count) {
       return (base_ + first * frame_bytes_) / frame_bytes_;
     }
   }
-  throw std::runtime_error("FrameAllocator: no contiguous run of " + std::to_string(count) +
-                           " frames");
+  return std::nullopt;
 }
 
 void FrameAllocator::free(u64 frame) {

@@ -5,6 +5,7 @@
 // baseline's pinned-buffer allocator (which needs contiguous runs).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "util/units.hpp"
@@ -23,12 +24,14 @@ class FrameAllocator {
   u64 used_frames() const noexcept { return total_ - free_count_; }
 
   /// Allocates one frame; returns its global frame number (physical address
-  /// = frame * frame_bytes). Throws std::runtime_error when exhausted.
-  u64 alloc();
+  /// = frame * frame_bytes), or nullopt when exhausted. Exhaustion is a
+  /// normal event under memory pressure — the pager reclaims and retries.
+  std::optional<u64> alloc();
 
   /// Allocates `count` physically contiguous frames; returns the first
-  /// frame number. Used by the pinned-buffer baseline.
-  u64 alloc_contiguous(u64 count);
+  /// frame number, or nullopt when no run exists. Used by the pinned-buffer
+  /// baseline.
+  std::optional<u64> alloc_contiguous(u64 count);
 
   void free(u64 frame);
   void free_contiguous(u64 first_frame, u64 count);

@@ -50,6 +50,9 @@ void Mmu::translate(VirtAddr va, bool is_write, std::function<void(PhysAddr)> do
       // take the long path so the OS can upgrade the mapping.
       tlb_.invalidate(vpn);
     } else {
+      // Keep the PTE's accessed/dirty bits fresh on TLB hits too, or the
+      // pager's CLOCK hand would evict pages that are hot in the TLB.
+      if (cfg_.ad_tracking) walker_.page_table().set_accessed_dirty(va, is_write);
       const PhysAddr pa = (entry->frame << page_bits) | offset;
       sim_.schedule_in(tlb_.config().hit_latency, [done = std::move(done), pa] { done(pa); });
       return;
@@ -80,6 +83,7 @@ void Mmu::on_walk_done(VirtAddr va, bool is_write, std::function<void(PhysAddr)>
     sink_->raise(std::move(req));
     return;
   }
+  if (is_write) walker_.page_table().set_accessed_dirty(va, /*dirty=*/true);
   tlb_.insert(va >> page_bits, r.frame, r.writable);
   const PhysAddr pa = (r.frame << page_bits) | (va & ((1ull << page_bits) - 1));
   done(pa);

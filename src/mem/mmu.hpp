@@ -42,6 +42,11 @@ struct MmuConfig {
   TlbConfig tlb;
   bool translation_enabled = true;
 
+  /// Maintain PTE accessed/dirty bits on TLB hits (functional update the
+  /// replacement policies consume). Defaults on; systems without a pager
+  /// disable it to keep the hit path free of page-table work.
+  bool ad_tracking = true;
+
   /// Next-page prefetch: a demand miss on page N also queues a walk for
   /// page N+1 and fills the TLB in the background (faults are dropped
   /// silently). Hides compulsory misses of sequential streams at the cost

@@ -39,8 +39,9 @@ PageTable::PageTable(PhysicalMemory& pm, FrameAllocator& frames, const PageTable
   idx_bits_ = cfg.page_bits - 3;  // 8-byte PTEs, one table per frame
   const unsigned translated = cfg.va_bits - cfg.page_bits;
   levels_ = static_cast<unsigned>(ceil_div(translated, idx_bits_));
-  const u64 root_frame = frames_.alloc();
-  root_addr_ = frames_.frame_addr(root_frame);
+  const auto root_frame = frames_.alloc();
+  if (!root_frame) throw std::runtime_error("PageTable: no frame for the root table");
+  root_addr_ = frames_.frame_addr(*root_frame);
   pm_.clear(root_addr_, page_bytes());
   table_frames_ = 1;
 }
@@ -61,21 +62,35 @@ PhysAddr PageTable::pte_addr(PhysAddr table_base, unsigned level, VirtAddr va) c
   return table_base + index_at(va, level) * 8;
 }
 
+std::optional<PhysAddr> PageTable::find_leaf_pte_addr(VirtAddr va) const {
+  check_va(va);
+  PhysAddr base = root_addr_;
+  for (unsigned level = 0; level + 1 < levels_; ++level) {
+    const Pte pte = Pte::decode(pm_.read_u64(pte_addr(base, level, va)));
+    if (!pte.valid) return std::nullopt;
+    base = frames_.frame_addr(pte.frame);
+  }
+  return pte_addr(base, levels_ - 1, va);
+}
+
 std::optional<PhysAddr> PageTable::leaf_pte_addr(VirtAddr va, bool create) {
+  if (!create) return find_leaf_pte_addr(va);
   check_va(va);
   PhysAddr base = root_addr_;
   for (unsigned level = 0; level + 1 < levels_; ++level) {
     const PhysAddr pa = pte_addr(base, level, va);
     Pte pte = Pte::decode(pm_.read_u64(pa));
     if (!pte.valid) {
-      if (!create) return std::nullopt;
-      const u64 frame = frames_.alloc();
-      pm_.clear(frames_.frame_addr(frame), page_bytes());
+      // Page-table nodes are wired memory: they are never paged out, so
+      // exhaustion here is fatal rather than a pager event.
+      const auto frame = frames_.alloc();
+      if (!frame) throw std::runtime_error("PageTable: out of frames for an interior table");
+      pm_.clear(frames_.frame_addr(*frame), page_bytes());
       ++table_frames_;
       pte = Pte{};
       pte.valid = true;
       pte.writable = true;  // interior nodes carry no permission semantics
-      pte.frame = frame;
+      pte.frame = *frame;
       pm_.write_u64(pa, pte.encode());
     }
     base = frames_.frame_addr(pte.frame);
@@ -115,14 +130,26 @@ std::optional<Pte> PageTable::lookup(VirtAddr va) const {
   return std::nullopt;  // unreachable; levels_ >= 1
 }
 
-void PageTable::set_accessed_dirty(VirtAddr va, bool dirty) {
-  auto leaf = leaf_pte_addr(va, /*create=*/false);
+void PageTable::set_accessed_dirty(VirtAddr va, bool dirty) const {
+  auto leaf = find_leaf_pte_addr(va);
   if (!leaf) return;
   Pte pte = Pte::decode(pm_.read_u64(*leaf));
   if (!pte.valid) return;
+  if (pte.accessed && (pte.dirty || !dirty)) return;  // already in the target state
   pte.accessed = true;
   pte.dirty = pte.dirty || dirty;
   pm_.write_u64(*leaf, pte.encode());
+}
+
+bool PageTable::test_and_clear_accessed(VirtAddr va) const {
+  auto leaf = find_leaf_pte_addr(va);
+  if (!leaf) return false;
+  Pte pte = Pte::decode(pm_.read_u64(*leaf));
+  if (!pte.valid) return false;
+  const bool was = pte.accessed;
+  pte.accessed = false;
+  pm_.write_u64(*leaf, pte.encode());
+  return was;
 }
 
 }  // namespace vmsls::mem

@@ -72,8 +72,15 @@ class PageTable {
 
   bool is_mapped(VirtAddr va) const { return lookup(va).has_value(); }
 
-  /// Sets accessed/dirty bits on the leaf PTE (software-managed A/D).
-  void set_accessed_dirty(VirtAddr va, bool dirty);
+  /// Sets accessed (and optionally dirty) bits on the leaf PTE. Const: the
+  /// mutation targets simulated memory contents, not table structure — the
+  /// MMU and walker call this through their const table references on every
+  /// translation, which is what arms the replacement policies.
+  void set_accessed_dirty(VirtAddr va, bool dirty) const;
+
+  /// Reads and clears the accessed bit (the CLOCK/aging sweep primitive).
+  /// Returns false when the page is unmapped.
+  bool test_and_clear_accessed(VirtAddr va) const;
 
   /// Number of interior table frames allocated so far (root included).
   u64 table_frames() const noexcept { return table_frames_; }
@@ -86,6 +93,9 @@ class PageTable {
   /// Returns the physical address of the leaf PTE, or nullopt if a level is
   /// missing and `create` is false.
   std::optional<PhysAddr> leaf_pte_addr(VirtAddr va, bool create);
+
+  /// Read-only leaf walk: nullopt when any interior level is missing.
+  std::optional<PhysAddr> find_leaf_pte_addr(VirtAddr va) const;
 
   PhysicalMemory& pm_;
   FrameAllocator& frames_;

@@ -1,0 +1,131 @@
+#include "mem/paging/pager.hpp"
+
+#include <utility>
+
+#include "rt/process.hpp"
+#include "util/log.hpp"
+
+namespace vmsls::paging {
+
+Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name)
+    : sim_(sim),
+      process_(process),
+      as_(process.address_space()),
+      cfg_(cfg),
+      name_(std::move(name)),
+      swap_(sim, cfg.swap, as_.page_bytes(), name_ + ".swap"),
+      policy_(make_policy(cfg.policy, as_.page_table(), cfg.policy_seed)),
+      evictions_(sim.stats().counter(name_ + ".evictions")),
+      swap_ins_(sim.stats().counter(name_ + ".swap_ins")),
+      writebacks_(sim.stats().counter(name_ + ".writebacks")),
+      reclaims_(sim.stats().counter(name_ + ".reclaims")),
+      fault_stall_(sim.stats().histogram(name_ + ".fault_stall")) {
+  as_.set_residency_observer(this);
+  as_.set_reclaim_hook([this](u64 pages) { return reclaim(pages); });
+  // Pages already resident when the pager attaches (pinned buffers mapped at
+  // elaboration) enter policy tracking so they are evictable under pressure.
+  as_.for_each_resident([this](u64 vpn) { policy_->on_insert(vpn); });
+}
+
+Pager::~Pager() {
+  as_.set_residency_observer(nullptr);
+  as_.set_reclaim_hook(nullptr);
+}
+
+unsigned Pager::page_bits() const noexcept { return as_.page_table().config().page_bits; }
+
+void Pager::on_map(u64 vpn) {
+  pending_maps_.erase(vpn);
+  policy_->on_insert(vpn);
+}
+
+void Pager::on_unmap(u64 vpn, bool dirty) {
+  (void)dirty;  // contents always reach the backing store; the *time* for
+                // dirty pages is charged on the pager's own eviction path
+  policy_->on_remove(vpn);
+  swap_.note_swapped(vpn);
+}
+
+void Pager::ensure_frame_available(std::function<void()> then) {
+  // Clean victims evict in a plain loop; a dirty victim suspends the loop
+  // until its writeback completes on the device port (the callback arrives
+  // on a fresh stack from the event loop, so eviction bursts of any size
+  // are stack-safe).
+  // Frames reserved by not-yet-mapped faults count against the budget, or
+  // two in-flight faults would double-spend one freed frame.
+  while (cfg_.frame_budget != 0 &&
+         as_.resident_pages() + pending_maps_.size() > cfg_.frame_budget) {
+    const auto victim = policy_->pick_victim();
+    if (!victim) break;
+    const VirtAddr vva = *victim << page_bits();
+    const auto pte = as_.page_table().lookup(vva);
+    const bool dirty = pte && pte->dirty;
+    log_debug(name_, "evict vpn=0x", std::hex, *victim, dirty ? " (dirty)" : " (clean)");
+    process_.evict(vva, 1);  // shoots down TLBs + flushes walk caches
+    evictions_.add();
+    if (dirty) {
+      writebacks_.add();
+      swap_.write_page(*victim, [this, then = std::move(then)]() mutable {
+        ensure_frame_available(std::move(then));
+      });
+      return;
+    }
+  }
+  then();
+}
+
+void Pager::handle_fault(VirtAddr va, bool is_write, std::function<void()> ready) {
+  (void)is_write;
+  const Cycles start = sim_.now();
+  const u64 vpn = va >> page_bits();
+  if (as_.is_mapped(va)) {
+    // A concurrent fault on the same page already completed: no frame and
+    // no swap-in needed — and crucially no victim eviction either.
+    fault_stall_.record(0);
+    ready();
+    return;
+  }
+  if (auto it = inflight_swap_ins_.find(vpn); it != inflight_swap_ins_.end()) {
+    // Same page is mid-read: coalesce onto that read before any eviction —
+    // this fault consumes no frame of its own.
+    it->second.push_back([this, ready = std::move(ready), start] {
+      fault_stall_.record(sim_.now() - start);
+      ready();
+    });
+    return;
+  }
+  pending_maps_.insert(vpn);
+  ensure_frame_available([this, va, vpn, ready = std::move(ready), start]() mutable {
+    // A concurrent fault may have brought the page in already — don't pay
+    // (or serialize on) a second device read for a resident page.
+    if (!as_.is_mapped(va) && swap_.holds(vpn)) {
+      swap_ins_.add();
+      inflight_swap_ins_.emplace(vpn, std::vector<std::function<void()>>{});
+      swap_.read_page(vpn, [this, vpn, ready = std::move(ready), start] {
+        auto waiters = std::move(inflight_swap_ins_[vpn]);
+        inflight_swap_ins_.erase(vpn);
+        fault_stall_.record(sim_.now() - start);
+        ready();
+        for (auto& w : waiters) w();
+      });
+    } else {
+      fault_stall_.record(sim_.now() - start);
+      ready();
+    }
+  });
+}
+
+u64 Pager::reclaim(u64 pages) {
+  u64 done = 0;
+  for (u64 i = 0; i < pages; ++i) {
+    const auto victim = policy_->pick_victim();
+    if (!victim) break;
+    process_.evict(*victim << page_bits(), 1);
+    evictions_.add();
+    reclaims_.add();
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace vmsls::paging

@@ -1,0 +1,98 @@
+// Pager daemon: residency tracking, victim selection, and swap charging.
+//
+// The missing decision layer between AddressSpace::evict (mechanism) and
+// the OS fault path (cost): the pager watches every map/unmap in the
+// process address space, enforces a configurable frame budget on the
+// hardware-thread fault path, picks victims through a pluggable
+// replacement policy, evicts them through Process::evict — preserving the
+// TLB-shootdown / walk-cache-flush invariants — and charges swap-device
+// time for dirty writebacks and swap-ins. With frame_budget == 0 the pager
+// is inert and the fault path degenerates to the pre-pressure model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/paging/replacement.hpp"
+#include "mem/paging/swap_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::rt {
+class Process;
+}
+
+namespace vmsls::paging {
+
+struct PagerConfig {
+  /// Maximum resident data pages for the process; 0 = unlimited (pager
+  /// tracks residency but never evicts on the fault path).
+  u64 frame_budget = 0;
+  PolicyKind policy = PolicyKind::kClock;
+  SwapConfig swap{};
+  u64 policy_seed = 1;  // feeds the RANDOM policy only
+};
+
+class Pager final : public mem::ResidencyObserver {
+ public:
+  Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name);
+  ~Pager() override;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  const PagerConfig& config() const noexcept { return cfg_; }
+  SwapDevice& swap() noexcept { return swap_; }
+  ReplacementPolicy& policy() noexcept { return *policy_; }
+
+  // --- mem::ResidencyObserver (driven by the address space) ---
+  void on_map(u64 vpn) override;
+  void on_unmap(u64 vpn, bool dirty) override;
+
+  /// Fault-path entry: makes room under the frame budget (evicting victims,
+  /// charging writeback time for dirty ones) and charges swap-in time when
+  /// the faulting page lives in swap. `ready` fires once the frame is
+  /// guaranteed available and the page contents are on their way in; the
+  /// caller then maps the page and retries the access.
+  void handle_fault(VirtAddr va, bool is_write, std::function<void()> ready);
+
+  /// Synchronous emergency reclaim (frame-allocator pressure callback):
+  /// evicts up to `pages` victims functionally, without device timing.
+  /// Returns pages actually reclaimed.
+  u64 reclaim(u64 pages);
+
+  u64 evictions() const noexcept { return evictions_.value(); }
+  u64 swap_ins() const noexcept { return swap_ins_.value(); }
+  u64 writebacks() const noexcept { return writebacks_.value(); }
+
+ private:
+  void ensure_frame_available(std::function<void()> then);
+  unsigned page_bits() const noexcept;
+
+  sim::Simulator& sim_;
+  rt::Process& process_;
+  mem::AddressSpace& as_;
+  PagerConfig cfg_;
+  std::string name_;
+  SwapDevice swap_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  /// Faults coalescing on an in-flight swap-in: one device read serves all
+  /// waiters (the kernel's wait-on-page-lock behavior).
+  std::unordered_map<u64, std::vector<std::function<void()>>> inflight_swap_ins_;
+  /// Pages a fault has reserved a frame for but not yet mapped. Counted
+  /// against the budget so concurrent faults cannot double-spend one freed
+  /// frame; entries clear when the page maps (on_map).
+  std::unordered_set<u64> pending_maps_;
+
+  Counter& evictions_;
+  Counter& swap_ins_;
+  Counter& writebacks_;
+  Counter& reclaims_;
+  Histogram& fault_stall_;
+};
+
+}  // namespace vmsls::paging

@@ -1,0 +1,183 @@
+#include "mem/paging/replacement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace vmsls::paging {
+
+const char* policy_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kClock: return "clock";
+    case PolicyKind::kLruApprox: return "lru";
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  if (name == "clock") return PolicyKind::kClock;
+  if (name == "lru") return PolicyKind::kLruApprox;
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "random") return PolicyKind::kRandom;
+  throw std::invalid_argument("unknown replacement policy '" + name + "'");
+}
+
+namespace {
+
+/// Second-chance clock: resident pages form a ring; the hand sweeps,
+/// clearing accessed bits, and evicts the first page found unreferenced.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(const mem::PageTable& pt) : pt_(pt) {}
+
+  const char* name() const noexcept override { return "clock"; }
+  u64 tracked_pages() const noexcept override { return ring_.size(); }
+
+  void on_insert(u64 vpn) override {
+    // New pages enter just behind the hand: they get a full sweep before
+    // first consideration.
+    ring_.insert(ring_.begin() + static_cast<std::ptrdiff_t>(hand_), vpn);
+    ++hand_;
+    if (hand_ >= ring_.size()) hand_ = 0;
+  }
+
+  void on_remove(u64 vpn) override {
+    // Fast path: the pager evicts the page the hand just nominated.
+    u64 idx;
+    if (!ring_.empty() && ring_[hand_] == vpn) {
+      idx = hand_;
+    } else {
+      auto it = std::find(ring_.begin(), ring_.end(), vpn);
+      if (it == ring_.end()) return;
+      idx = static_cast<u64>(it - ring_.begin());
+    }
+    ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (idx < hand_) --hand_;
+    if (hand_ >= ring_.size()) hand_ = 0;
+  }
+
+  std::optional<u64> pick_victim() override {
+    if (ring_.empty()) return std::nullopt;
+    // At most two sweeps: the first clears every accessed bit, the second
+    // must find a victim.
+    for (u64 step = 0; step < 2 * ring_.size(); ++step) {
+      const u64 vpn = ring_[hand_];
+      if (!pt_.test_and_clear_accessed(vpn << pt_.config().page_bits)) return vpn;
+      hand_ = (hand_ + 1) % ring_.size();
+    }
+    return ring_[hand_];
+  }
+
+ private:
+  const mem::PageTable& pt_;
+  std::vector<u64> ring_;
+  u64 hand_ = 0;
+};
+
+/// Aging LRU approximation: an 8-bit reference history per page, shifted on
+/// every victim selection with the accessed bit entering at the top. The
+/// smallest history value is the least recently used page.
+class LruApproxPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruApproxPolicy(const mem::PageTable& pt) : pt_(pt) {}
+
+  const char* name() const noexcept override { return "lru"; }
+  u64 tracked_pages() const noexcept override { return ages_.size(); }
+
+  void on_insert(u64 vpn) override { ages_[vpn] = 0x80; }
+  void on_remove(u64 vpn) override { ages_.erase(vpn); }
+
+  std::optional<u64> pick_victim() override {
+    if (ages_.empty()) return std::nullopt;
+    std::optional<u64> victim;
+    unsigned best_age = 256;
+    for (auto& [vpn, age] : ages_) {
+      const bool used = pt_.test_and_clear_accessed(vpn << pt_.config().page_bits);
+      age = static_cast<u8>((age >> 1) | (used ? 0x80 : 0));
+      if (age < best_age) {  // ties resolve to the lowest vpn (map order)
+        best_age = age;
+        victim = vpn;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  const mem::PageTable& pt_;
+  std::map<u64, u8> ages_;  // ordered: deterministic sweep and tie-breaks
+};
+
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  const char* name() const noexcept override { return "fifo"; }
+  u64 tracked_pages() const noexcept override { return queue_.size(); }
+
+  void on_insert(u64 vpn) override { queue_.push_back(vpn); }
+
+  void on_remove(u64 vpn) override {
+    // Fast path: the pager evicts the head pick_victim just returned.
+    if (!queue_.empty() && queue_.front() == vpn) {
+      queue_.pop_front();
+      return;
+    }
+    auto it = std::find(queue_.begin(), queue_.end(), vpn);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+
+  std::optional<u64> pick_victim() override {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.front();
+  }
+
+ private:
+  std::deque<u64> queue_;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(u64 seed) : rng_(seed) {}
+
+  const char* name() const noexcept override { return "random"; }
+  u64 tracked_pages() const noexcept override { return pages_.size(); }
+
+  void on_insert(u64 vpn) override { pages_.push_back(vpn); }
+
+  void on_remove(u64 vpn) override {
+    // Order carries no meaning here, so removal is swap-with-back; the
+    // last nomination makes the pager's evict O(1).
+    auto it = (last_pick_ < pages_.size() && pages_[last_pick_] == vpn)
+                  ? pages_.begin() + static_cast<std::ptrdiff_t>(last_pick_)
+                  : std::find(pages_.begin(), pages_.end(), vpn);
+    if (it == pages_.end()) return;
+    *it = pages_.back();
+    pages_.pop_back();
+  }
+
+  std::optional<u64> pick_victim() override {
+    if (pages_.empty()) return std::nullopt;
+    last_pick_ = rng_.below(pages_.size());
+    return pages_[last_pick_];
+  }
+
+ private:
+  Rng rng_;
+  std::vector<u64> pages_;
+  u64 last_pick_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, const mem::PageTable& pt,
+                                               u64 seed) {
+  switch (kind) {
+    case PolicyKind::kClock: return std::make_unique<ClockPolicy>(pt);
+    case PolicyKind::kLruApprox: return std::make_unique<LruApproxPolicy>(pt);
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+  }
+  throw std::invalid_argument("unknown replacement policy kind");
+}
+
+}  // namespace vmsls::paging

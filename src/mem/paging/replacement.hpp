@@ -1,0 +1,55 @@
+// Page-replacement policies for the pager daemon.
+//
+// Each policy tracks the set of resident data pages (virtual page numbers)
+// and, under memory pressure, nominates the next victim. CLOCK and the
+// LRU approximation consume the accessed bits the MMU/walker set in the
+// PTEs on every translation — the hardware/software contract that makes
+// recency-based replacement implementable at all; FIFO and RANDOM ignore
+// access history and serve as the locality-blind baselines the
+// memory-pressure experiments compare against.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/pagetable.hpp"
+#include "util/rng.hpp"
+
+namespace vmsls::paging {
+
+enum class PolicyKind { kClock, kLruApprox, kFifo, kRandom };
+
+const char* policy_name(PolicyKind kind) noexcept;
+
+/// Parses "clock" / "lru" / "fifo" / "random"; throws on anything else.
+PolicyKind parse_policy(const std::string& name);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Page became resident.
+  virtual void on_insert(u64 vpn) = 0;
+
+  /// Page left residency (pager eviction or an external unmap).
+  virtual void on_remove(u64 vpn) = 0;
+
+  /// Nominates the next victim among tracked pages; nullopt when none are
+  /// tracked. Does NOT remove the page — the pager evicts it, which feeds
+  /// back through on_remove.
+  virtual std::optional<u64> pick_victim() = 0;
+
+  virtual u64 tracked_pages() const noexcept = 0;
+};
+
+/// `pt` supplies the accessed bits (CLOCK/LRU test-and-clear them through
+/// it); `seed` feeds RANDOM's generator so runs stay deterministic.
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, const mem::PageTable& pt,
+                                               u64 seed = 1);
+
+}  // namespace vmsls::paging

@@ -1,0 +1,52 @@
+#include "mem/paging/swap_device.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmsls::paging {
+
+SwapDevice::SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_bytes,
+                       std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      page_bytes_(page_bytes),
+      name_(std::move(name)),
+      reads_(sim.stats().counter(name_ + ".reads")),
+      writes_(sim.stats().counter(name_ + ".writes")),
+      bytes_(sim.stats().counter(name_ + ".bytes")),
+      queue_wait_(sim.stats().histogram(name_ + ".queue_wait")) {
+  require(cfg.bytes_per_cycle > 0, "swap device needs nonzero bandwidth");
+  require(page_bytes > 0, "swap device needs a page size");
+}
+
+void SwapDevice::issue(Cycles latency, std::function<void()> done) {
+  const Cycles transfer = latency + page_bytes_ / cfg_.bytes_per_cycle;
+  const Cycles start = std::max(sim_.now(), port_free_);
+  queue_wait_.record(start - sim_.now());
+  port_free_ = start + transfer;
+  bytes_.add(page_bytes_);
+  sim_.schedule_at(port_free_, std::move(done));
+}
+
+void SwapDevice::write_page(u64 vpn, std::function<void()> done) {
+  note_swapped(vpn);
+  writes_.add();
+  issue(cfg_.write_latency, std::move(done));
+}
+
+void SwapDevice::read_page(u64 vpn, std::function<void()> done) {
+  if (!holds(vpn))
+    throw std::logic_error(name_ + ": swap-in of page not held by the device");
+  reads_.add();
+  issue(cfg_.read_latency, [this, vpn, done = std::move(done)] {
+    slots_.erase(vpn);
+    done();
+  });
+}
+
+void SwapDevice::note_swapped(u64 vpn) {
+  if (slots_.insert(vpn).second && slots_.size() > cfg_.slot_limit)
+    throw std::runtime_error(name_ + ": swap device out of slots");
+}
+
+}  // namespace vmsls::paging

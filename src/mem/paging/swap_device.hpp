@@ -1,0 +1,76 @@
+// Timed swap device: the backing store the pager daemon pages against.
+//
+// Models a single-ported block device (SD/flash-class on a Zynq board):
+// each page-sized transfer pays a fixed access latency plus bytes/bandwidth,
+// and transfers serialize on the device port — concurrent fault storms queue
+// here exactly like walker misses queue on the memory bus. The device tracks
+// *which* pages it holds (slot bookkeeping) and charges time; page *bytes*
+// stay in the AddressSpace backing store, which already plays the role of
+// swap-file contents for the functional model.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace vmsls::paging {
+
+struct SwapConfig {
+  Cycles read_latency = 4000;     // per-operation device access latency
+  Cycles write_latency = 6000;    // writes are slower on flash-class media
+  unsigned bytes_per_cycle = 4;   // transfer bandwidth across the device port
+  u64 slot_limit = 1ull << 20;    // capacity in pages; exceeded = hard error
+};
+
+class SwapDevice {
+ public:
+  SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_bytes, std::string name);
+
+  SwapDevice(const SwapDevice&) = delete;
+  SwapDevice& operator=(const SwapDevice&) = delete;
+
+  const SwapConfig& config() const noexcept { return cfg_; }
+
+  /// True when the device holds a copy of the page (slot allocated).
+  bool holds(u64 vpn) const { return slots_.count(vpn) != 0; }
+  u64 slots_in_use() const noexcept { return slots_.size(); }
+
+  /// Timed page write (swap-out). Allocates a slot for `vpn`; `done` fires
+  /// when the transfer completes on the device port.
+  void write_page(u64 vpn, std::function<void()> done);
+
+  /// Timed page read (swap-in). Requires holds(vpn); the slot is freed when
+  /// the transfer completes — a later eviction of the page re-writes it —
+  /// so slot occupancy tracks pages that are out, not pages that ever were.
+  void read_page(u64 vpn, std::function<void()> done);
+
+  /// Slot bookkeeping without device time: pages evicted "by fiat" during
+  /// experiment setup land in swap instantly, so later faults on them pay
+  /// the swap-in cost.
+  void note_swapped(u64 vpn);
+
+  u64 reads() const noexcept { return reads_.value(); }
+  u64 writes() const noexcept { return writes_.value(); }
+
+ private:
+  /// Serializes a transfer on the single device port; `done` fires at
+  /// completion time.
+  void issue(Cycles latency, std::function<void()> done);
+
+  sim::Simulator& sim_;
+  SwapConfig cfg_;
+  u64 page_bytes_;
+  std::string name_;
+  std::unordered_set<u64> slots_;
+  Cycles port_free_ = 0;
+
+  Counter& reads_;
+  Counter& writes_;
+  Counter& bytes_;
+  Histogram& queue_wait_;
+};
+
+}  // namespace vmsls::paging

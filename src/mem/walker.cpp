@@ -119,7 +119,11 @@ void PageWalker::on_pte(const std::shared_ptr<Walk>& w, u64 raw) {
     return;
   }
   if (w->level + 1 == pt_.levels()) {
-    // Leaf. Remember the table it lives in for subsequent same-region walks.
+    // Leaf. The walker sets the accessed bit on fill — the hardware side of
+    // the contract the replacement policies consume. (Functional update;
+    // the PTE read already paid its bus cycles.)
+    pt_.set_accessed_dirty(w->va, /*dirty=*/false);
+    // Remember the table it lives in for subsequent same-region walks.
     cache_fill(w->va, w->base);
     WalkResult r;
     r.frame = pte.frame;

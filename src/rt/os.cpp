@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mem/paging/pager.hpp"
 #include "rt/process.hpp"
 #include "util/log.hpp"
 
@@ -36,22 +37,44 @@ FaultHandler::FaultHandler(sim::Simulator& sim, OsModel& os, Process& process, s
       faults_(sim.stats().counter(name_ + ".faults")),
       latency_(sim.stats().histogram(name_ + ".latency")) {}
 
+void FaultHandler::finish_fault(mem::FaultRequest req, Cycles raised_at) {
+  auto& space = process_.address_space();
+  // Another thread may have faulted the same page in meanwhile.
+  if (!space.is_mapped(req.va)) space.map_page(req.va, /*writable=*/true);
+  latency_.record(sim_.now() - raised_at);
+  req.retry();
+}
+
 void FaultHandler::raise(mem::FaultRequest req) {
   faults_.add();
   log_debug(name_, "page fault: thread ", req.thread_id, " va=0x", std::hex, req.va,
             req.is_write ? " (write)" : " (read)");
   const Cycles raised_at = sim_.now();
-  auto& as = process_.address_space();
   const auto& cfg = os_.config();
-  const Cycles copy_cost = as.page_bytes() / std::max(1u, cfg.copy_bytes_per_cycle);
-  const Cycles total =
-      cfg.irq_latency + cfg.fault_service + cfg.map_page_cost + copy_cost + cfg.response_latency;
-  os_.exec_service(total, [this, req = std::move(req), raised_at] {
-    auto& space = process_.address_space();
-    // Another thread may have faulted the same page in meanwhile.
-    if (!space.is_mapped(req.va)) space.map_page(req.va, /*writable=*/true);
-    latency_.record(sim_.now() - raised_at);
-    req.retry();
+  const Cycles copy_cost =
+      process_.address_space().page_bytes() / std::max(1u, cfg.copy_bytes_per_cycle);
+  const Cycles post = cfg.map_page_cost + copy_cost + cfg.response_latency;
+  if (pager_ == nullptr) {
+    // Pressure-free path: the whole kernel VM trip runs on a service core.
+    os_.exec_service(cfg.irq_latency + cfg.fault_service + post,
+                     [this, req = std::move(req), raised_at]() mutable {
+      finish_fault(std::move(req), raised_at);
+    });
+    return;
+  }
+  // Pager path: irq + fault service occupy a core; eviction writebacks and
+  // the swap-in wait happen off-core on the swap device's port; then the
+  // map/copy/response tail re-acquires a core once the frame is secured.
+  os_.exec_service(cfg.irq_latency + cfg.fault_service,
+                   [this, req = std::move(req), raised_at, post]() mutable {
+    const VirtAddr va = req.va;
+    const bool is_write = req.is_write;
+    pager_->handle_fault(va, is_write,
+                         [this, req = std::move(req), raised_at, post]() mutable {
+      os_.exec_service(post, [this, req = std::move(req), raised_at]() mutable {
+        finish_fault(std::move(req), raised_at);
+      });
+    });
   });
 }
 

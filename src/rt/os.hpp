@@ -20,6 +20,10 @@
 #include "rt/sync.hpp"
 #include "sim/simulator.hpp"
 
+namespace vmsls::paging {
+class Pager;
+}
+
 namespace vmsls::rt {
 
 class Process;
@@ -64,20 +68,32 @@ class OsModel {
 };
 
 /// Services hardware-thread page faults: maps the page (with content from
-/// the process backing store) and retries the access.
+/// the process backing store) and retries the access. With a pager
+/// attached, the fault path additionally enforces the frame budget —
+/// evicting victims and paying swap-device time — before the page maps.
 class FaultHandler final : public mem::FaultSink {
  public:
   FaultHandler(sim::Simulator& sim, OsModel& os, Process& process, std::string name);
+
+  /// The pager must outlive the handler; nullptr detaches (pressure-free
+  /// fault servicing, the pre-pager model).
+  void set_pager(paging::Pager* pager) noexcept { pager_ = pager; }
 
   void raise(mem::FaultRequest req) override;
 
   u64 faults_serviced() const noexcept { return faults_.value(); }
 
  private:
+  /// Shared fault completion: maps the page if still unmapped, records the
+  /// service latency, and retries the faulting access. Callers charge the
+  /// time first.
+  void finish_fault(mem::FaultRequest req, Cycles raised_at);
+
   sim::Simulator& sim_;
   OsModel& os_;
   Process& process_;
   std::string name_;
+  paging::Pager* pager_ = nullptr;
   Counter& faults_;
   Histogram& latency_;
 };

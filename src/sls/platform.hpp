@@ -14,6 +14,7 @@
 #include "mem/bus.hpp"
 #include "mem/dram.hpp"
 #include "mem/pagetable.hpp"
+#include "mem/paging/pager.hpp"
 #include "mem/tlb.hpp"
 #include "mem/walker.hpp"
 #include "rt/os.hpp"
@@ -36,6 +37,9 @@ struct PlatformSpec {
   hwt::CostModel hw_cost{};            // fabric datapath costs
   rt::OsConfig os{};
   cpu::CpuConfig cpu{};
+  /// Memory-pressure model: frame budget, replacement policy, swap-device
+  /// timing. frame_budget == 0 (the default) disables the pager entirely.
+  paging::PagerConfig pager{};
 
   Addr ctrl_base = 0x4000'0000;  // control-register window (metadata only)
   u64 ctrl_stride = 0x1000;

@@ -46,6 +46,24 @@ void write_stats_csv(std::ostream& os, const StatRegistry& stats) {
   for (const auto& [name, value] : stats.snapshot()) os << name << "," << value << "\n";
 }
 
+void write_pager_summary(std::ostream& os, const StatRegistry& stats,
+                         const std::string& pager_name,
+                         const std::string& fault_handler_name) {
+  const auto pager = stats.snapshot_prefix(pager_name + ".");
+  if (pager.empty()) {
+    os << "pager: inactive (no frame budget configured)\n";
+    return;
+  }
+  const auto at = [&pager, &pager_name](const std::string& key) {
+    auto it = pager.find(pager_name + "." + key);
+    return it == pager.end() ? 0.0 : it->second;
+  };
+  os << "pager: evictions=" << at("evictions") << " swap_ins=" << at("swap_ins")
+     << " swap_outs=" << at("swap.writes") << " writebacks=" << at("writebacks")
+     << " reclaims=" << at("reclaims") << " mean_fault_stall=" << at("fault_stall.mean")
+     << " faults=" << stats.counter_value(fault_handler_name + ".faults") << "\n";
+}
+
 namespace {
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream f(path);

@@ -23,6 +23,14 @@ void write_report_markdown(std::ostream& os, const SynthesisReport& report,
 /// (`name,value` rows; histograms contribute .count/.mean/.max).
 void write_stats_csv(std::ostream& os, const StatRegistry& stats);
 
+/// One-line-per-counter summary of the paging subsystem after a run under
+/// memory pressure: faults, evictions, swap-ins/outs, dirty writebacks, and
+/// mean fault-service time. Quiet (prints a note) when the registry holds
+/// no pager counters — i.e. the system ran without a frame budget.
+void write_pager_summary(std::ostream& os, const StatRegistry& stats,
+                         const std::string& pager_name = "pager",
+                         const std::string& fault_handler_name = "faults");
+
 /// Convenience file writers; throw std::runtime_error on I/O failure.
 void save_report_markdown(const std::string& path, const SynthesisReport& report,
                           const std::string& title);

@@ -29,6 +29,18 @@ System::System(sim::Simulator& sim, const SystemImage& image) : sim_(sim), image
   os_ = std::make_unique<rt::OsModel>(sim_, plat.os, "os");
   faults_ = std::make_unique<rt::FaultHandler>(sim_, *os_, *process_, "faults");
 
+  // --- pager daemon (memory-pressure model) ---
+  if (plat.pager.frame_budget > 0) {
+    // The offload driver snapshots physical addresses for in-flight DMA;
+    // without page pinning the pager could evict underneath it. Refuse the
+    // combination loudly until pin support lands (see ROADMAP).
+    require(!image_.options().include_dma,
+            "pager frame budget and the DMA offload baseline cannot be combined yet "
+            "(no page pinning)");
+    pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, "pager");
+    faults_->set_pager(pager_.get());
+  }
+
   // --- application objects ---
   for (const auto& m : app.mailboxes) process_->add_mailbox(m.depth, m.name);
   for (const auto& s : app.semaphores) process_->add_semaphore(s.initial, s.name);
@@ -69,6 +81,7 @@ void System::build_hw_thread(const ThreadSpec& spec, const HwThreadPlan& plan) {
   mmu_cfg.tlb = plan.tlb;
   mmu_cfg.translation_enabled = (plan.addressing == Addressing::kVirtual);
   mmu_cfg.prefetch_next_page = spec.prefetch_next_page;
+  mmu_cfg.ad_tracking = (pager_ != nullptr);  // no consumer, no hit-path PT work
   t.mmu = std::make_unique<mem::Mmu>(sim_, *walker_, mmu_cfg, "hwt." + spec.name + ".mmu",
                                      plan.slot);
   t.mmu->set_fault_sink(faults_.get());

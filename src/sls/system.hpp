@@ -21,6 +21,7 @@
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/mmu.hpp"
+#include "mem/paging/pager.hpp"
 #include "mem/physmem.hpp"
 #include "mem/walker.hpp"
 #include "rt/os.hpp"
@@ -45,6 +46,10 @@ class System {
   mem::PhysicalMemory& physical_memory() noexcept { return *pm_; }
   rt::OsModel& os() noexcept { return *os_; }
   rt::FaultHandler& fault_handler() noexcept { return *faults_; }
+
+  /// Present when the platform configures a frame budget (pager.frame_budget
+  /// > 0); nullptr otherwise.
+  paging::Pager* pager() noexcept { return pager_.get(); }
 
   hwt::Engine& engine(const std::string& thread);
   mem::Mmu& mmu(const std::string& thread);  // hardware threads only
@@ -101,6 +106,7 @@ class System {
   std::unique_ptr<mem::PageWalker> walker_;
   std::unique_ptr<rt::OsModel> os_;
   std::unique_ptr<rt::FaultHandler> faults_;
+  std::unique_ptr<paging::Pager> pager_;
   std::unique_ptr<dma::DmaEngine> dma_;
   std::unique_ptr<dma::OffloadDriver> offload_;
 

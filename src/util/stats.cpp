@@ -52,6 +52,13 @@ std::map<std::string, double> StatRegistry::snapshot() const {
   return out;
 }
 
+std::map<std::string, double> StatRegistry::snapshot_prefix(const std::string& prefix) const {
+  std::map<std::string, double> out;
+  for (auto& [name, value] : snapshot())
+    if (name.compare(0, prefix.size(), prefix) == 0) out.emplace(name, value);
+  return out;
+}
+
 u64 StatRegistry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();

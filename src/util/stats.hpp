@@ -64,6 +64,10 @@ class StatRegistry {
   /// Snapshot of all counter values (histograms contribute .count/.mean/.max).
   std::map<std::string, double> snapshot() const;
 
+  /// Snapshot restricted to entries whose name starts with `prefix` —
+  /// component-scoped reporting ("pager.", "pager.swap.", "faults.").
+  std::map<std::string, double> snapshot_prefix(const std::string& prefix) const;
+
   u64 counter_value(const std::string& name) const;
   bool has_counter(const std::string& name) const;
 

@@ -34,7 +34,7 @@ TEST_P(PageTableFuzz, MatchesReferenceMap) {
     switch (rng.below(3)) {
       case 0: {  // map if absent
         if (ref.count(vpn)) break;
-        const u64 frame = frames.alloc();
+        const u64 frame = *frames.alloc();
         const bool writable = rng.chance(0.5);
         pt.map(vpn << 12, frame, writable);
         ref[vpn] = {frame, writable};

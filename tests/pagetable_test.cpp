@@ -54,7 +54,7 @@ TEST(PageTable, UnmappedLookupIsEmpty) {
 
 TEST(PageTable, MapThenLookup) {
   PtFixture f;
-  const u64 frame = f.frames.alloc();
+  const u64 frame = *f.frames.alloc();
   f.pt.map(0x7000, frame, true);
   const auto pte = f.pt.lookup(0x7abc);  // same page, any offset
   ASSERT_TRUE(pte.has_value());
@@ -64,19 +64,19 @@ TEST(PageTable, MapThenLookup) {
 
 TEST(PageTable, ReadOnlyMapping) {
   PtFixture f;
-  f.pt.map(0x3000, f.frames.alloc(), false);
+  f.pt.map(0x3000, *f.frames.alloc(), false);
   EXPECT_FALSE(f.pt.lookup(0x3000)->writable);
 }
 
 TEST(PageTable, DoubleMapThrows) {
   PtFixture f;
-  f.pt.map(0x1000, f.frames.alloc(), true);
-  EXPECT_THROW(f.pt.map(0x1234, f.frames.alloc(), true), std::logic_error);
+  f.pt.map(0x1000, *f.frames.alloc(), true);
+  EXPECT_THROW(f.pt.map(0x1234, *f.frames.alloc(), true), std::logic_error);
 }
 
 TEST(PageTable, UnmapInvalidates) {
   PtFixture f;
-  f.pt.map(0x5000, f.frames.alloc(), true);
+  f.pt.map(0x5000, *f.frames.alloc(), true);
   f.pt.unmap(0x5000);
   EXPECT_FALSE(f.pt.is_mapped(0x5000));
   EXPECT_THROW(f.pt.unmap(0x5000), std::logic_error);
@@ -89,7 +89,7 @@ TEST(PageTable, UnmapOfNeverMappedThrows) {
 
 TEST(PageTable, DistinctPagesIndependent) {
   PtFixture f;
-  const u64 fa = f.frames.alloc(), fb = f.frames.alloc();
+  const u64 fa = *f.frames.alloc(), fb = *f.frames.alloc();
   f.pt.map(0x1000, fa, true);
   f.pt.map(0x2000, fb, true);
   EXPECT_EQ(f.pt.lookup(0x1000)->frame, fa);
@@ -102,8 +102,8 @@ TEST(PageTable, InteriorTablesAllocatedOnDemand) {
   PtFixture f;
   const u64 before = f.pt.table_frames();
   // Two VAs far apart require distinct interior chains.
-  f.pt.map(0x0000'1000, f.frames.alloc(), true);
-  f.pt.map(0x4000'0000ull & 0xffff'ffff, f.frames.alloc(), true);
+  f.pt.map(0x0000'1000, *f.frames.alloc(), true);
+  f.pt.map(0x4000'0000ull & 0xffff'ffff, *f.frames.alloc(), true);
   EXPECT_GT(f.pt.table_frames(), before);
 }
 
@@ -115,7 +115,7 @@ TEST(PageTable, VaWidthEnforced) {
 
 TEST(PageTable, AccessedDirtyBits) {
   PtFixture f;
-  f.pt.map(0x1000, f.frames.alloc(), true);
+  f.pt.map(0x1000, *f.frames.alloc(), true);
   f.pt.set_accessed_dirty(0x1000, false);
   EXPECT_TRUE(f.pt.lookup(0x1000)->accessed);
   EXPECT_FALSE(f.pt.lookup(0x1000)->dirty);
@@ -148,7 +148,7 @@ TEST_P(PageSizeSweep, MapLookupUnmapAtEveryGeometry) {
   const u64 page = 1ull << page_bits;
   for (u64 i = 0; i < 8; ++i) {
     const VirtAddr va = (i + 1) * page;
-    const u64 frame = f.frames.alloc();
+    const u64 frame = *f.frames.alloc();
     f.pt.map(va, frame, (i % 2) == 0);
     const auto pte = f.pt.lookup(va + page / 2);
     ASSERT_TRUE(pte.has_value());

@@ -1,0 +1,292 @@
+// Paging subsystem: swap-device timing, replacement-policy victim order,
+// pager budget enforcement, and the eviction correctness backbone (TLB
+// shootdown + walk-cache flush + backing-store round trip).
+#include <gtest/gtest.h>
+
+#include "mem/mmu.hpp"
+#include "mem/paging/pager.hpp"
+#include "mem/paging/replacement.hpp"
+#include "mem/paging/swap_device.hpp"
+#include "mem/walker.hpp"
+#include "rt/os.hpp"
+#include "rt/process.hpp"
+#include "test_util.hpp"
+
+namespace vmsls::paging {
+namespace {
+
+using test::MemorySystem;
+
+// --- swap device ---
+
+TEST(SwapDevice, TransfersPayLatencyPlusBandwidth) {
+  sim::Simulator sim;
+  SwapConfig cfg;
+  cfg.write_latency = 100;
+  cfg.read_latency = 50;
+  cfg.bytes_per_cycle = 8;
+  SwapDevice dev(sim, cfg, 4096, "swap");
+
+  Cycles write_done = 0, read_done = 0;
+  dev.write_page(7, [&] { write_done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(write_done, 100u + 4096 / 8);
+  EXPECT_TRUE(dev.holds(7));
+
+  const Cycles t0 = sim.now();
+  dev.read_page(7, [&] { read_done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(read_done - t0, 50u + 4096 / 8);
+}
+
+TEST(SwapDevice, OperationsSerializeOnThePort) {
+  sim::Simulator sim;
+  SwapConfig cfg;
+  cfg.write_latency = 100;
+  cfg.bytes_per_cycle = 8;
+  SwapDevice dev(sim, cfg, 4096, "swap");
+  const Cycles per_op = 100 + 4096 / 8;
+
+  Cycles first = 0, second = 0;
+  dev.write_page(1, [&] { first = sim.now(); });
+  dev.write_page(2, [&] { second = sim.now(); });
+  sim.run();
+  EXPECT_EQ(first, per_op);
+  EXPECT_EQ(second, 2 * per_op);
+  EXPECT_EQ(dev.slots_in_use(), 2u);
+}
+
+TEST(SwapDevice, ReadOfUnheldPageIsAnError) {
+  sim::Simulator sim;
+  SwapDevice dev(sim, SwapConfig{}, 4096, "swap");
+  EXPECT_THROW(dev.read_page(3, [] {}), std::logic_error);
+  dev.note_swapped(3);
+  EXPECT_NO_THROW(dev.read_page(3, [] {}));
+}
+
+// --- replacement policies ---
+
+TEST(ReplacementPolicy, ParseRoundTrip) {
+  for (const auto kind : {PolicyKind::kClock, PolicyKind::kLruApprox, PolicyKind::kFifo,
+                          PolicyKind::kRandom})
+    EXPECT_EQ(parse_policy(policy_name(kind)), kind);
+  EXPECT_THROW(parse_policy("mru"), std::invalid_argument);
+}
+
+struct PolicyFixture : ::testing::Test {
+  MemorySystem ms;
+  static constexpr VirtAddr kBase = 0x10000;
+
+  u64 vpn(unsigned i) const { return (kBase >> 12) + i; }
+
+  /// Maps `count` pages and clears their accessed bits (populate's writes
+  /// would otherwise leave every page marked used).
+  void map_pages(unsigned count) {
+    ms.as.populate(kBase, count * 4096ull);
+    for (unsigned i = 0; i < count; ++i)
+      ms.as.page_table().test_and_clear_accessed(kBase + i * 4096ull);
+  }
+
+  void touch(unsigned i) { ms.as.page_table().set_accessed_dirty(kBase + i * 4096ull, false); }
+};
+
+TEST_F(PolicyFixture, FifoEvictsInInsertionOrder) {
+  auto policy = make_policy(PolicyKind::kFifo, ms.as.page_table());
+  map_pages(3);
+  for (unsigned i = 0; i < 3; ++i) policy->on_insert(vpn(i));
+  touch(0);  // FIFO ignores access history
+  EXPECT_EQ(policy->pick_victim(), vpn(0));
+  policy->on_remove(vpn(0));
+  EXPECT_EQ(policy->pick_victim(), vpn(1));
+  policy->on_remove(vpn(1));
+  policy->on_remove(vpn(2));
+  EXPECT_FALSE(policy->pick_victim().has_value());
+}
+
+TEST_F(PolicyFixture, ClockGivesAccessedPagesASecondChance) {
+  auto policy = make_policy(PolicyKind::kClock, ms.as.page_table());
+  map_pages(3);
+  for (unsigned i = 0; i < 3; ++i) policy->on_insert(vpn(i));
+  touch(1);
+  // Page 1 is referenced: whatever the hand position, the first victim must
+  // be one of the unreferenced pages.
+  const auto victim = policy->pick_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NE(*victim, vpn(1));
+  // The sweep cleared page 1's bit; with no re-reference it is now fair
+  // game. Evict the first victim and the rest must drain, 1 included.
+  policy->on_remove(*victim);
+  const auto second = policy->pick_victim();
+  ASSERT_TRUE(second.has_value());
+  policy->on_remove(*second);
+  EXPECT_EQ(policy->pick_victim(), policy->pick_victim());  // stable when idle
+}
+
+TEST_F(PolicyFixture, ClockEventuallyEvictsEvenWhenAllReferenced) {
+  auto policy = make_policy(PolicyKind::kClock, ms.as.page_table());
+  map_pages(3);
+  for (unsigned i = 0; i < 3; ++i) {
+    policy->on_insert(vpn(i));
+    touch(i);
+  }
+  EXPECT_TRUE(policy->pick_victim().has_value());
+}
+
+TEST_F(PolicyFixture, LruAgingPrefersTheColdestPage) {
+  auto policy = make_policy(PolicyKind::kLruApprox, ms.as.page_table());
+  map_pages(3);
+  for (unsigned i = 0; i < 3; ++i) policy->on_insert(vpn(i));
+  // Several rounds in which pages 0 and 2 stay hot and page 1 goes cold.
+  for (int round = 0; round < 8; ++round) {
+    touch(0);
+    touch(2);
+    policy->pick_victim();  // aging sweep
+  }
+  touch(0);
+  touch(2);
+  EXPECT_EQ(policy->pick_victim(), vpn(1));
+}
+
+TEST_F(PolicyFixture, RandomIsDeterministicUnderASeed) {
+  auto a = make_policy(PolicyKind::kRandom, ms.as.page_table(), 99);
+  auto b = make_policy(PolicyKind::kRandom, ms.as.page_table(), 99);
+  map_pages(8);
+  for (unsigned i = 0; i < 8; ++i) {
+    a->on_insert(vpn(i));
+    b->on_insert(vpn(i));
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a->pick_victim(), b->pick_victim());
+}
+
+// --- pager integration: budget, shootdown, data round trip ---
+
+struct PagerFixture : ::testing::Test {
+  MemorySystem ms;
+  rt::Process process{ms.sim, ms.as, "proc"};
+  std::unique_ptr<mem::PageWalker> walker;
+  std::unique_ptr<mem::Mmu> mmu;
+  std::unique_ptr<rt::OsModel> os;
+  std::unique_ptr<rt::FaultHandler> faults;
+  std::unique_ptr<Pager> pager;
+
+  void make(u64 budget, PolicyKind kind = PolicyKind::kClock) {
+    walker = std::make_unique<mem::PageWalker>(ms.sim, ms.bus, ms.pm, ms.as.page_table(),
+                                               mem::WalkerConfig{}, "w");
+    mmu = std::make_unique<mem::Mmu>(ms.sim, *walker, mem::MmuConfig{}, "mmu", 0);
+    process.register_mmu(mmu.get());
+    process.register_walker(walker.get());
+    os = std::make_unique<rt::OsModel>(ms.sim, rt::OsConfig{}, "os");
+    faults = std::make_unique<rt::FaultHandler>(ms.sim, *os, process, "faults");
+    mmu->set_fault_sink(faults.get());
+    PagerConfig cfg;
+    cfg.frame_budget = budget;
+    cfg.policy = kind;
+    pager = std::make_unique<Pager>(ms.sim, process, cfg, "pager");
+    faults->set_pager(pager.get());
+  }
+
+  PhysAddr translate_sync(VirtAddr va, bool write = false) {
+    PhysAddr out = ~0ull;
+    mmu->translate(va, write, [&](PhysAddr pa) { out = pa; });
+    ms.run_all();
+    return out;
+  }
+};
+
+TEST_F(PagerFixture, EvictMidWorkloadRoundTripsThroughBackingStore) {
+  make(/*budget=*/2);
+  const VirtAddr base = ms.as.alloc(4 * 4096, 4096);
+  // Software writes distinct patterns into four pages (maps them all).
+  for (u64 p = 0; p < 4; ++p)
+    for (u64 w = 0; w < 8; ++w)
+      ms.as.write_u64(base + p * 4096 + w * 8, 0xA000'0000ull + p * 100 + w);
+  EXPECT_EQ(ms.as.resident_pages(), 4u);
+
+  // Cold-start: everything out, then the "hardware thread" touches all four
+  // pages under a two-frame budget, forcing pager evictions mid-workload.
+  process.evict(base, 4 * 4096);
+  EXPECT_EQ(ms.as.resident_pages(), 0u);
+  const u64 shootdowns_before = process.shootdowns();
+  for (u64 p = 0; p < 4; ++p)
+    EXPECT_NE(translate_sync(base + p * 4096, /*write=*/true), ~0ull);
+
+  // Budget respected on the fault path, victims chosen and shot down.
+  EXPECT_LE(ms.as.resident_pages(), 2u);
+  EXPECT_GE(pager->evictions(), 2u);
+  EXPECT_GT(process.shootdowns(), shootdowns_before);
+  EXPECT_GE(pager->swap_ins(), 1u);  // pages came back from swap, timed
+  // Dirty pages (written through the MMU) paid writeback on eviction.
+  EXPECT_GE(pager->writebacks(), 1u);
+
+  // The data survived the full evict/swap round trip.
+  for (u64 p = 0; p < 4; ++p)
+    for (u64 w = 0; w < 8; ++w)
+      EXPECT_EQ(ms.as.read_u64(base + p * 4096 + w * 8), 0xA000'0000ull + p * 100 + w);
+}
+
+TEST_F(PagerFixture, EvictionInvalidatesTlbAndWalkCache) {
+  make(/*budget=*/1);
+  const VirtAddr va0 = ms.as.alloc(4096, 4096);
+  const VirtAddr va1 = ms.as.alloc(4096, 4096);
+  translate_sync(va0);  // faults in, fills TLB
+  const u64 misses_after_first = mmu->tlb().misses();
+  translate_sync(va0);  // pure TLB hit
+  EXPECT_EQ(mmu->tlb().misses(), misses_after_first);
+
+  translate_sync(va1);  // budget 1: evicts va0's page, shoots down its TLB entry
+  EXPECT_FALSE(ms.as.is_mapped(va0));
+  translate_sync(va0);  // must re-walk and re-fault, not hit a stale entry
+  EXPECT_GT(mmu->tlb().misses(), misses_after_first);
+  EXPECT_TRUE(ms.as.is_mapped(va0));
+}
+
+TEST_F(PagerFixture, SwapTimeLengthensFaultService) {
+  make(/*budget=*/1);
+  const VirtAddr va = ms.as.alloc(4096, 4096);
+  const Cycles t0 = ms.sim.now();
+  translate_sync(va, /*write=*/true);  // zero-fill fault: no swap read
+  const Cycles cold_fill = ms.sim.now() - t0;
+
+  const VirtAddr other = ms.as.alloc(4096, 4096);
+  translate_sync(other, /*write=*/true);  // evicts va's dirty page -> writeback
+
+  const Cycles t1 = ms.sim.now();
+  translate_sync(va);  // swap-in: pays the device read on top of the OS path
+  const Cycles swap_fill = ms.sim.now() - t1;
+  EXPECT_GT(swap_fill, cold_fill);
+  EXPECT_GE(pager->swap().reads(), 1u);
+}
+
+TEST_F(PagerFixture, FrameExhaustionTriggersReclaimInsteadOfThrowing) {
+  // Tiny allocator: 8 frames, 3 consumed by page-table nodes. A huge budget
+  // means the fault path never evicts — only the allocator pressure
+  // callback can save the 6th data page.
+  // Region distinct from the fixture allocator's, so the two page tables
+  // never alias physical frames.
+  mem::FrameAllocator tiny(1 * MiB, 8, 4096);
+  mem::AddressSpace as(ms.pm, tiny, mem::PageTableConfig{});
+  rt::Process proc(ms.sim, as, "tiny");
+  PagerConfig cfg;
+  cfg.frame_budget = 1000;
+  Pager p(ms.sim, proc, cfg, "tiny_pager");
+
+  const VirtAddr base = as.alloc(8 * 4096, 4096);
+  for (u64 i = 0; i < 8; ++i) as.write_u64(base + i * 4096, i + 1);
+  EXPECT_GT(ms.sim.stats().counter_value("tiny_pager.reclaims"), 0u);
+  for (u64 i = 0; i < 8; ++i) EXPECT_EQ(as.read_u64(base + i * 4096), i + 1);
+}
+
+TEST_F(PagerFixture, ObserverSeedsPolicyWithPagesResidentAtAttach) {
+  // Pages mapped before the pager attaches (pinned buffers) must still be
+  // evictable under pressure.
+  const VirtAddr base = ms.as.alloc(3 * 4096, 4096);
+  ms.as.populate(base, 3 * 4096);
+  make(/*budget=*/2);
+  EXPECT_EQ(pager->policy().tracked_pages(), ms.as.resident_pages());
+  const VirtAddr extra = ms.as.alloc(4096, 4096);
+  translate_sync(extra);
+  EXPECT_LE(ms.as.resident_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace vmsls::paging

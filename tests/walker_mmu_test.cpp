@@ -207,7 +207,7 @@ TEST_F(MmuFixture, WritePermissionFaultOnReadOnlyPage) {
   auto_service = false;
   make_mmu();
   // Map read-only by hand.
-  const u64 frame = ms.frames.alloc();
+  const u64 frame = *ms.frames.alloc();
   ms.as.page_table().map(0x70000, frame, /*writable=*/false);
   PhysAddr read_pa = translate_sync(0x70000, false);
   EXPECT_NE(read_pa, ~0ull);
