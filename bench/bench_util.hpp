@@ -6,10 +6,13 @@
 // util/Table so outputs are uniform and scrapable.
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sls/synthesis.hpp"
 #include "sls/system.hpp"
@@ -17,16 +20,76 @@
 
 namespace vmsls::bench {
 
+/// Host wall-clock stopwatch for measuring the harness itself.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 struct RunResult {
   Cycles cycles = 0;
   bool verified = false;
   std::map<std::string, double> stats;  // full registry snapshot
   sls::SynthesisReport report;
+  u64 events = 0;      // scheduler events executed during the run
+  double host_ms = 0;  // host wall-clock spent inside run_to_completion
 
   double stat(const std::string& name) const {
     auto it = stats.find(name);
     return it == stats.end() ? 0.0 : it->second;
   }
+};
+
+/// Accumulates engine-throughput measurements and writes BENCH_engine.json:
+/// one record per measured section with simulated cycles/events, host
+/// milliseconds, and derived events-per-second — the perf-trajectory data
+/// the ROADMAP's "as fast as the hardware allows" goal is tracked against.
+class EngineBenchReport {
+ public:
+  void add(const std::string& name, Cycles cycles, u64 events, double host_ms) {
+    entries_.push_back(Entry{name, cycles, events, host_ms});
+  }
+
+  void add(const std::string& name, const RunResult& r) {
+    add(name, r.cycles, r.events, r.host_ms);
+  }
+
+  /// Writes the accumulated entries as a JSON array. Schema per entry:
+  ///   {"name", "cycles", "events", "host_ms", "events_per_sec"}
+  /// "cycles" is 0 for host-only sections with no simulated-time span.
+  void write_json(const std::string& path = "BENCH_engine.json") const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const double eps = e.host_ms > 0 ? static_cast<double>(e.events) / (e.host_ms / 1000.0) : 0;
+      out << "  {\"name\": \"" << e.name << "\", \"cycles\": " << e.cycles
+          << ", \"events\": " << e.events << ", \"host_ms\": " << e.host_ms
+          << ", \"events_per_sec\": " << eps << "}" << (i + 1 < entries_.size() ? "," : "")
+          << "\n";
+    }
+    out << "]\n";
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Cycles cycles = 0;
+    u64 events = 0;
+    double host_ms = 0;
+  };
+  std::vector<Entry> entries_;
 };
 
 struct RunOptions {
@@ -55,7 +118,11 @@ inline RunResult run_workload(const workloads::Workload& wl, const RunOptions& o
   system->start_all();
 
   RunResult r;
+  const u64 events_before = sim.events_executed();
+  WallTimer timer;
   r.cycles = system->run_to_completion(opt.max_cycles);
+  r.host_ms = timer.ms();
+  r.events = sim.events_executed() - events_before;
   r.verified = wl.verify(*system);
   if (!r.verified)
     throw std::runtime_error("workload '" + wl.name + "' failed verification in a bench run");

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "mem/dram.hpp"
@@ -26,11 +25,13 @@ struct BusConfig {
 
 /// One memory transaction. `on_done` fires at the completion cycle; the
 /// issuer then performs its functional data access against PhysicalMemory.
+/// The callback is a sim::EventFn: move-only, with enough inline storage
+/// that enqueueing a request never heap-allocates for typical closures.
 struct BusRequest {
   PhysAddr addr = 0;
   u32 bytes = 0;
   bool is_write = false;
-  std::function<void()> on_done;
+  sim::EventFn on_done;
 };
 
 class MemoryBus {

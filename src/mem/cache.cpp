@@ -88,7 +88,7 @@ void CacheHierarchy::access(PhysAddr addr, u32 bytes, bool is_write, std::functi
 void CacheHierarchy::step(const std::shared_ptr<Walk>& w) {
   const u64 line_bytes = cfg_.l1.line_bytes;
   if (w->next_line >= w->end) {
-    sim_.schedule_in(0, [w] { w->done(); });
+    sim_.schedule_now([w] { w->done(); });
     return;
   }
   const PhysAddr line_addr = w->next_line;

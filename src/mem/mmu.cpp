@@ -16,7 +16,8 @@ Mmu::Mmu(sim::Simulator& sim, PageWalker& walker, const MmuConfig& cfg, std::str
       translations_(sim.stats().counter(name_ + ".translations")),
       fault_raises_(sim.stats().counter(name_ + ".faults")),
       prefetches_(sim.stats().counter(name_ + ".prefetches")),
-      prefetch_fills_(sim.stats().counter(name_ + ".prefetch_fills")) {}
+      prefetch_fills_(sim.stats().counter(name_ + ".prefetch_fills")),
+      inline_completions_(sim.stats().counter(name_ + ".inline_completions")) {}
 
 void Mmu::maybe_prefetch(u64 missed_vpn) {
   if (!cfg_.prefetch_next_page) return;
@@ -36,7 +37,11 @@ void Mmu::maybe_prefetch(u64 missed_vpn) {
 void Mmu::translate(VirtAddr va, bool is_write, std::function<void(PhysAddr)> done) {
   if (!cfg_.translation_enabled) {
     // Physical pass-through: the "MMU-less" accelerator of the DMA baseline.
-    sim_.schedule_in(0, [done = std::move(done), va] { done(va); });
+    // Zero modeled latency, so complete inline — no scheduler traffic at
+    // all on this path (inline_completions counts it; tests assert
+    // events_scheduled() stays flat here).
+    inline_completions_.add();
+    done(va);
     return;
   }
   translations_.add();
@@ -54,7 +59,14 @@ void Mmu::translate(VirtAddr va, bool is_write, std::function<void(PhysAddr)> do
       // pager's CLOCK hand would evict pages that are hot in the TLB.
       if (cfg_.ad_tracking) walker_.page_table().set_accessed_dirty(va, is_write);
       const PhysAddr pa = (entry->frame << page_bits) | offset;
-      sim_.schedule_in(tlb_.config().hit_latency, [done = std::move(done), pa] { done(pa); });
+      const Cycles hit_latency = tlb_.config().hit_latency;
+      if (hit_latency == 0) {
+        // Combinational TLB: complete inline, same cycle, no event.
+        inline_completions_.add();
+        done(pa);
+      } else {
+        sim_.schedule_in(hit_latency, [done = std::move(done), pa] { done(pa); });
+      }
       return;
     }
   }

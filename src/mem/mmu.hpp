@@ -68,7 +68,16 @@ class Mmu {
 
   /// Translates `va`; `done(pa)` fires once a valid translation exists,
   /// after any walk and fault service completes.
+  ///
+  /// Fast path: when the translation adds zero modeled latency — physical
+  /// pass-through, or a TLB hit with hit_latency == 0 — `done` is invoked
+  /// synchronously, inside this call, without touching the scheduler
+  /// (counted in `<name>.inline_completions`). Callers must therefore not
+  /// assume `done` runs after the current event returns.
   void translate(VirtAddr va, bool is_write, std::function<void(PhysAddr)> done);
+
+  /// Translations completed synchronously (no scheduler round-trip).
+  u64 inline_completions() const noexcept { return inline_completions_.value(); }
 
   Tlb& tlb() noexcept { return tlb_; }
   const Tlb& tlb() const noexcept { return tlb_; }
@@ -98,6 +107,7 @@ class Mmu {
   Counter& fault_raises_;
   Counter& prefetches_;
   Counter& prefetch_fills_;
+  Counter& inline_completions_;
 };
 
 }  // namespace vmsls::mem

@@ -79,12 +79,27 @@ void PageWalker::try_start() {
   }
 }
 
+PageWalker::Walk* PageWalker::acquire_walk() {
+  if (walk_free_.empty()) {
+    walk_pool_.push_back(std::make_unique<Walk>());
+    return walk_pool_.back().get();
+  }
+  Walk* w = walk_free_.back();
+  walk_free_.pop_back();
+  return w;
+}
+
+void PageWalker::release_walk(Walk* w) noexcept {
+  w->done = nullptr;  // drop the closure now; the slot may idle a long time
+  walk_free_.push_back(w);
+}
+
 void PageWalker::begin(Job job) {
   ++active_;
   queue_wait_.record(sim_.now() - job.enqueued);
   walks_.add();
 
-  auto w = std::make_shared<Walk>();
+  Walk* w = acquire_walk();
   w->va = job.va;
   w->done = std::move(job.done);
   w->started = sim_.now();
@@ -102,14 +117,14 @@ void PageWalker::begin(Job job) {
   sim_.schedule_in(cfg_.setup_latency, [this, w] { read_level(w); });
 }
 
-void PageWalker::read_level(const std::shared_ptr<Walk>& w) {
+void PageWalker::read_level(Walk* w) {
   const PhysAddr pa = pt_.pte_addr(w->base, w->level, w->va);
   mem_reads_.add();
   bus_.request(BusRequest{pa, 8, /*is_write=*/false,
                           [this, w, pa] { on_pte(w, pm_.read_u64(pa)); }});
 }
 
-void PageWalker::on_pte(const std::shared_ptr<Walk>& w, u64 raw) {
+void PageWalker::on_pte(Walk* w, u64 raw) {
   const Pte pte = Pte::decode(raw);
   if (!pte.valid) {
     WalkResult r;
@@ -136,11 +151,12 @@ void PageWalker::on_pte(const std::shared_ptr<Walk>& w, u64 raw) {
   read_level(w);
 }
 
-void PageWalker::finish(const std::shared_ptr<Walk>& w, const WalkResult& r) {
+void PageWalker::finish(Walk* w, const WalkResult& r) {
   if (r.fault) faults_.add();
   walk_latency_.record(sim_.now() - w->started);
   --active_;
   auto done = std::move(w->done);
+  release_walk(w);  // recycle before the continuation starts new walks
   done(r);
   try_start();
 }

@@ -61,7 +61,9 @@ class PageWalker {
     std::function<void(WalkResult)> done;
     Cycles enqueued;
   };
-  /// Per-walk state machine; several may be in flight.
+  /// Per-walk state machine; several may be in flight. Instances are
+  /// pooled and recycled (each callback chain holds exactly one live
+  /// pointer at a time), so steady-state walks do not allocate.
   struct Walk {
     VirtAddr va = 0;
     unsigned level = 0;
@@ -78,9 +80,12 @@ class PageWalker {
 
   void try_start();
   void begin(Job job);
-  void read_level(const std::shared_ptr<Walk>& w);
-  void on_pte(const std::shared_ptr<Walk>& w, u64 raw);
-  void finish(const std::shared_ptr<Walk>& w, const WalkResult& r);
+  void read_level(Walk* w);
+  void on_pte(Walk* w, u64 raw);
+  void finish(Walk* w, const WalkResult& r);
+
+  Walk* acquire_walk();
+  void release_walk(Walk* w) noexcept;
 
   bool cache_lookup(VirtAddr va, PhysAddr& base);
   void cache_fill(VirtAddr va, PhysAddr base);
@@ -95,6 +100,9 @@ class PageWalker {
 
   std::deque<Job> queue_;
   unsigned active_ = 0;
+
+  std::vector<std::unique_ptr<Walk>> walk_pool_;  // owns every Walk ever made
+  std::vector<Walk*> walk_free_;                  // recycled, ready for reuse
 
   std::vector<CacheSlot> cache_;
   u64 cache_tick_ = 0;

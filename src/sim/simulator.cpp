@@ -1,32 +1,141 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace vmsls::sim {
 
+void Simulator::grow_pool() {
+  if (wheel_ == nullptr) wheel_ = std::make_unique<Slot[]>(kWheelSlots);
+  slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
+  EventNode* slab = slabs_.back().get();
+  for (std::size_t i = 0; i < kSlabNodes; ++i) {
+    slab[i].next = free_;
+    free_ = &slab[i];
+  }
+}
+
+Simulator::EventNode* Simulator::acquire() {
+  if (free_ == nullptr) grow_pool();
+  EventNode* n = free_;
+  free_ = n->next;
+  return n;
+}
+
+void Simulator::release(EventNode* n) noexcept {
+  n->fn.reset();
+  n->next = free_;
+  free_ = n;
+}
+
 void Simulator::schedule_at(Cycles when, EventFn fn) {
   ensure(when >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  EventNode* n = acquire();
+  n->when = when;
+  n->seq = next_seq_++;
+  n->fn = std::move(fn);
+  n->next = nullptr;
+  ++pending_;
+  if (when - now_ < kWheelSlots) {
+    // A slot holds exactly one cycle's FIFO list: a new event for cycle
+    // t + kWheelSlots cannot be scheduled until every event at t has run.
+    Slot& s = wheel_[when & kWheelMask];
+    if (s.head == nullptr) {
+      s.head = s.tail = n;
+      occupied_[(when & kWheelMask) >> 6] |= 1ull << (when & 63);
+    } else {
+      s.tail->next = n;
+      s.tail = n;
+    }
+    ++wheel_count_;
+  } else {
+    far_.push_back(n);
+    std::push_heap(far_.begin(), far_.end(), FarLater{});
+  }
+}
+
+Cycles Simulator::next_wheel_time() const noexcept {
+  const u64 start = now_ & kWheelMask;
+  const u64 start_word = start >> 6;
+  u64 w = start_word;
+  u64 word = occupied_[w] & (~0ull << (start & 63));
+  while (word == 0) {
+    w = (w + 1) & (kWheelWords - 1);
+    word = occupied_[w];
+    if (w == start_word) {
+      // Full wrap: only bits below the start position remain to check.
+      word &= (start & 63) != 0 ? ~(~0ull << (start & 63)) : 0;
+      break;
+    }
+  }
+  const u64 slot = (w << 6) | static_cast<u64>(std::countr_zero(word));
+  return now_ + ((slot - start) & kWheelMask);
+}
+
+Simulator::EventNode* Simulator::pop_next(Cycles deadline) {
+  if (pending_ == 0) return nullptr;
+  bool from_far = true;
+  Cycles tw = 0;
+  if (wheel_count_ != 0) {
+    tw = next_wheel_time();
+    if (far_.empty()) {
+      from_far = false;
+    } else {
+      // Same-time events may straddle the wheel/heap boundary (the heap one
+      // was scheduled while its cycle was beyond the horizon); the global
+      // sequence number restores strict FIFO order between them.
+      const EventNode* ft = far_.front();
+      from_far = ft->when < tw || (ft->when == tw && ft->seq < wheel_[tw & kWheelMask].head->seq);
+    }
+  }
+  if ((from_far ? far_.front()->when : tw) > deadline) return nullptr;
+
+  EventNode* n;
+  if (from_far) {
+    std::pop_heap(far_.begin(), far_.end(), FarLater{});
+    n = far_.back();
+    far_.pop_back();
+  } else {
+    Slot& s = wheel_[tw & kWheelMask];
+    n = s.head;
+    s.head = n->next;
+    if (s.head == nullptr) {
+      s.tail = nullptr;
+      occupied_[(tw & kWheelMask) >> 6] &= ~(1ull << (tw & 63));
+    }
+    --wheel_count_;
+  }
+  --pending_;
+  n->next = nullptr;
+  return n;
+}
+
+void Simulator::execute(EventNode* n) {
+  now_ = n->when;
+  ++events_executed_;
+  // Recycle even when the callback throws (engine traps propagate to the
+  // caller); the callable itself is destroyed by release().
+  struct Recycle {
+    Simulator* sim;
+    EventNode* node;
+    ~Recycle() { sim->release(node); }
+  } guard{this, n};
+  n->fn();
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // The queue's top is const; we must copy the closure out. Events are small
-  // so this is acceptable; the queue is the simulator's hot path but the
-  // workloads below it dominate runtime.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
-  ++events_executed_;
-  ev.fn();
+  EventNode* n = pop_next(~0ull);
+  if (n == nullptr) return false;
+  execute(n);
   return true;
 }
 
 u64 Simulator::run(Cycles max_cycles) {
   const Cycles deadline = (max_cycles == ~0ull) ? ~0ull : now_ + max_cycles;
   u64 executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    step();
+  while (EventNode* n = pop_next(deadline)) {
+    execute(n);
     ++executed;
   }
   return executed;

@@ -5,20 +5,34 @@
 // the kernel executes them in (time, insertion-order) order, which makes
 // runs fully deterministic. Faster clock domains (the host CPU) are modeled
 // by ratio conversion, see sim/clock.hpp.
+//
+// Internals (the fast path every simulated cycle goes through):
+//
+//   * Events live in pooled, recycled nodes — after warm-up the scheduler
+//     performs zero heap allocations per event.
+//   * Near-future events (within kWheelSlots cycles of now) go into a
+//     timing wheel: one FIFO list per cycle slot, with an occupancy bitmap
+//     so the next event is found by a find-first-set scan, not a heap
+//     sift. Same-cycle FIFO order falls out of list append order.
+//   * Far-future events (beyond the wheel horizon) fall back to a binary
+//     heap keyed on (when, seq). When a wheel slot and the heap top tie on
+//     time, the global sequence number arbitrates, so the (time,
+//     insertion-order) contract holds across both structures.
+//   * Callbacks are sim::EventFn (see event_fn.hpp): move-only with 56
+//     bytes of inline storage, so typical closures never touch the heap.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
 namespace vmsls::sim {
-
-using EventFn = std::function<void()>;
 
 /// Central event queue + simulated clock.
 class Simulator {
@@ -37,6 +51,12 @@ class Simulator {
   /// after all currently pending same-cycle events).
   void schedule_in(Cycles delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
 
+  /// Same-cycle completion: identical semantics to schedule_in(0) — the
+  /// event runs this cycle, after everything already pending for this
+  /// cycle — but names the intent at call sites (completions that carry
+  /// no modeled latency yet must preserve event order, e.g. cache walks).
+  void schedule_now(EventFn fn) { schedule_at(now_, std::move(fn)); }
+
   void schedule_at(Cycles when, EventFn fn);
 
   /// Runs until the event queue drains or `max_cycles` elapse. Returns the
@@ -46,27 +66,64 @@ class Simulator {
   /// Executes the single next event. Returns false if the queue is empty.
   bool step();
 
-  bool idle() const noexcept { return queue_.empty(); }
+  bool idle() const noexcept { return pending_ == 0; }
   u64 events_executed() const noexcept { return events_executed_; }
+
+  /// Total events ever handed to the scheduler. Inline completion paths
+  /// (see Mmu) bypass the scheduler entirely; tests assert this does not
+  /// move on such paths.
+  u64 events_scheduled() const noexcept { return next_seq_; }
 
   /// Shared statistics registry for all components in this simulation.
   StatRegistry& stats() noexcept { return stats_; }
   const StatRegistry& stats() const noexcept { return stats_; }
 
  private:
-  struct Event {
-    Cycles when;
-    u64 seq;  // tie-break: FIFO among same-cycle events
+  struct EventNode {
+    Cycles when = 0;
+    u64 seq = 0;  // tie-break: FIFO among same-cycle events
+    EventNode* next = nullptr;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+  /// Min-heap order on (when, seq) for the far-future fallback heap.
+  struct FarLater {
+    bool operator()(const EventNode* a, const EventNode* b) const noexcept {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr unsigned kWheelBits = 12;
+  static constexpr u64 kWheelSlots = 1ull << kWheelBits;  // 4096-cycle horizon
+  static constexpr u64 kWheelMask = kWheelSlots - 1;
+  static constexpr u64 kWheelWords = kWheelSlots / 64;
+  static constexpr std::size_t kSlabNodes = 512;  // pool growth granularity
+
+  EventNode* acquire();
+  void release(EventNode* n) noexcept;
+  void grow_pool();
+
+  /// Earliest pending wheel time; precondition: wheel_count_ > 0.
+  Cycles next_wheel_time() const noexcept;
+
+  /// Detaches and returns the next event in (when, seq) order, or nullptr
+  /// when the queue is empty or the next event lies beyond `deadline`.
+  EventNode* pop_next(Cycles deadline);
+
+  void execute(EventNode* n);
+
+  std::unique_ptr<Slot[]> wheel_;               // lazily sized to kWheelSlots
+  std::array<u64, kWheelWords> occupied_{};     // bitmap over wheel slots
+  std::vector<EventNode*> far_;                 // heap (FarLater) beyond horizon
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;  // pool backing store
+  EventNode* free_ = nullptr;                   // recycled-node freelist
+  u64 wheel_count_ = 0;
+  u64 pending_ = 0;
+
   Cycles now_ = 0;
   u64 next_seq_ = 0;
   u64 events_executed_ = 0;

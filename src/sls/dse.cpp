@@ -1,7 +1,11 @@
 #include "sls/dse.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace vmsls::sls {
 
@@ -20,6 +24,10 @@ DseResult DesignSpaceExplorer::explore_tlb(const AppSpec& app, const std::string
   DseResult result;
   SynthesisFlow flow(platform_, options_);
 
+  // Phase 1 (serial): synthesize every candidate. This is host-microseconds
+  // per point; keeping it on one thread keeps SynthesisFlow single-threaded.
+  std::vector<SystemImage> images;
+  images.reserve(entry_candidates.size());
   for (unsigned entries : entry_candidates) {
     AppSpec variant = app;
     for (auto& t : variant.threads) {
@@ -31,17 +39,55 @@ DseResult DesignSpaceExplorer::explore_tlb(const AppSpec& app, const std::string
       t.tlb_override = tlb;
     }
 
-    const SystemImage image = flow.synthesize(variant);
+    images.push_back(flow.synthesize(variant));
     DseCandidate cand;
     cand.tlb_entries = entries;
-    cand.total = image.report().total;
-    cand.resource_utilization = image.report().utilization;
-    cand.fits = image.report().fits_budget;
-    if (evaluate && cand.fits) {
-      cand.cycles = evaluate(image);
-      cand.measured = true;
-    }
+    cand.total = images.back().report().total;
+    cand.resource_utilization = images.back().report().utilization;
+    cand.fits = images.back().report().fits_budget;
     result.candidates.push_back(cand);
+  }
+
+  // Phase 2 (parallel): score the fitting candidates. Every candidate
+  // elaborates onto its own Simulator inside `evaluate`, so workers share
+  // nothing; each writes only its own slot, and the result vector is
+  // byte-identical to the serial sweep whatever the thread count.
+  if (evaluate) {
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < result.candidates.size(); ++i)
+      if (result.candidates[i].fits) work.push_back(i);
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, work.size()));
+    if (workers <= 1) {
+      for (std::size_t i : work) {
+        result.candidates[i].cycles = evaluate(images[i]);
+        result.candidates[i].measured = true;
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::exception_ptr> errors(work.size());
+      auto drain = [&] {
+        for (std::size_t j = next.fetch_add(1); j < work.size(); j = next.fetch_add(1)) {
+          const std::size_t i = work[j];
+          try {
+            result.candidates[i].cycles = evaluate(images[i]);
+            result.candidates[i].measured = true;
+          } catch (...) {
+            errors[j] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
+      drain();
+      for (auto& t : pool) t.join();
+      // Rethrow the lowest-index failure so the surfaced error does not
+      // depend on thread scheduling.
+      for (auto& e : errors)
+        if (e) std::rethrow_exception(e);
+    }
   }
 
   // Pick the best point.

@@ -36,9 +36,23 @@ class DesignSpaceExplorer {
  public:
   /// Evaluator: builds a simulator, elaborates the image, runs the
   /// workload, and returns the cycle count to minimize.
+  ///
+  /// Must be safe to call concurrently from several host threads when
+  /// exploration is parallel (threads > 1): evaluate only through state
+  /// local to the call — elaborate the image onto a fresh Simulator, as
+  /// every existing evaluator already does — and the sweep stays
+  /// deterministic, because each candidate's simulation is fully isolated.
   using Evaluator = std::function<Cycles(const SystemImage&)>;
 
   explicit DesignSpaceExplorer(PlatformSpec platform, SynthesisOptions options = {});
+
+  /// Host threads used to score candidates. 1 (the default) evaluates on
+  /// the calling thread; N > 1 fans candidates out over a worker pool.
+  /// Synthesis itself stays serial (it is microseconds per candidate), and
+  /// results — candidate order, every cycle count, and the chosen best
+  /// point — are bit-identical to the serial sweep regardless of N.
+  void set_threads(unsigned threads) noexcept { threads_ = threads == 0 ? 1 : threads; }
+  unsigned threads() const noexcept { return threads_; }
 
   /// Sweeps `thread`'s TLB size over `entry_candidates`.
   DseResult explore_tlb(const AppSpec& app, const std::string& thread,
@@ -48,6 +62,7 @@ class DesignSpaceExplorer {
  private:
   PlatformSpec platform_;
   SynthesisOptions options_;
+  unsigned threads_ = 1;
 };
 
 }  // namespace vmsls::sls

@@ -33,6 +33,13 @@ void Histogram::reset() noexcept {
   max_ = 0;
 }
 
+StatRegistry::StatRegistry() {
+  // A full system registers a few counters per component across dozens of
+  // components; reserving up front keeps registration rehash-free.
+  counters_.reserve(128);
+  histograms_.reserve(32);
+}
+
 Counter& StatRegistry::counter(const std::string& name) { return counters_[name]; }
 
 Histogram& StatRegistry::histogram(const std::string& name) {

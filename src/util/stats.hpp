@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/units.hpp"
@@ -56,12 +57,24 @@ class Histogram {
 
 /// Flat registry mapping "component.stat" names to counters/histograms.
 /// Components hold references to entries they create; the registry owns them.
+///
+/// Stability guarantee: Counter& / Histogram& references returned by
+/// counter() / histogram() remain valid for the registry's lifetime.
+/// Storage is an unordered_map (hot registration is a hash lookup, not a
+/// red-black-tree walk), and unordered_map never invalidates references to
+/// values on rehash or insert — only iterators. Components therefore cache
+/// these references at construction and bump them per event with no lookup.
+/// Iteration order of counters()/histograms() is unspecified; use
+/// snapshot()/snapshot_prefix() for deterministic, name-sorted views.
 class StatRegistry {
  public:
+  StatRegistry();
+
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   /// Snapshot of all counter values (histograms contribute .count/.mean/.max).
+  /// Returned map is ordered by name — deterministic for reports and tests.
   std::map<std::string, double> snapshot() const;
 
   /// Snapshot restricted to entries whose name starts with `prefix` —
@@ -73,12 +86,12 @@ class StatRegistry {
 
   void reset();
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::unordered_map<std::string, Counter>& counters() const { return counters_; }
+  const std::unordered_map<std::string, Histogram>& histograms() const { return histograms_; }
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::unordered_map<std::string, Counter> counters_;
+  std::unordered_map<std::string, Histogram> histograms_;
 };
 
 }  // namespace vmsls

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -107,6 +109,139 @@ TEST(Simulator, StatsRegistryShared) {
   Simulator s;
   s.stats().counter("x").add(3);
   EXPECT_EQ(s.stats().counter_value("x"), 3u);
+}
+
+// --- calendar-wheel internals: far-future heap fallback and its seams ---
+
+TEST(Simulator, FarFutureEventsBeyondWheelHorizon) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(1'000'000, [&] { order.push_back(3); });  // far beyond the wheel
+  s.schedule_in(5'000, [&] { order.push_back(2); });      // just beyond the wheel
+  s.schedule_in(10, [&] { order.push_back(1); });         // in the wheel
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 1'000'000u);
+}
+
+TEST(Simulator, SameCycleFifoAcrossWheelHeapBoundary) {
+  // First event lands at t=6000 while that cycle is beyond the wheel
+  // horizon (heap); the second is scheduled for the same cycle later, from
+  // t=5000, when it falls inside the wheel. FIFO order must still hold.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(6'000, [&] { order.push_back(1); });
+  s.schedule_at(5'000, [&] { s.schedule_at(6'000, [&] { order.push_back(2); }); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, WheelWrapsAcrossManyHorizons) {
+  // A chain that hops forward by more than the wheel size each time,
+  // exercising slot reuse across wraps.
+  Simulator s;
+  int fired = 0;
+  EventFn hop = [&] {
+    ++fired;
+    if (fired < 10) {
+      s.schedule_in(4'096 + 7, [&] {
+        ++fired;
+        if (fired < 10) s.schedule_in(13, [&] { ++fired; });
+      });
+    }
+  };
+  s.schedule_in(1, std::move(hop));
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), 1u + 4'096u + 7u + 13u);
+}
+
+TEST(Simulator, ScheduleNowRunsAfterPendingSameCycleEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(5, [&] {
+    order.push_back(1);
+    s.schedule_now([&] { order.push_back(3); });
+  });
+  s.schedule_in(5, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 5u);
+}
+
+TEST(Simulator, NodeRecyclingAcrossManyEvents) {
+  // Far more events than one pool slab, all recycled; counts must balance.
+  Simulator s;
+  u64 sink = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (u64 i = 0; i < 2'000; ++i) s.schedule_in(i % 131, [&sink] { ++sink; });
+    s.run();
+  }
+  EXPECT_EQ(sink, 16'000u);
+  EXPECT_EQ(s.events_executed(), 16'000u);
+  EXPECT_EQ(s.events_scheduled(), 16'000u);
+}
+
+TEST(Simulator, ThrowingEventPropagatesAndQueueSurvives) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1, [] { throw std::runtime_error("trap"); });
+  s.schedule_in(2, [&] { ++fired; });
+  EXPECT_THROW(s.run(), std::runtime_error);
+  s.run();  // the remaining event is still runnable
+  EXPECT_EQ(fired, 1);
+}
+
+// --- EventFn: small-buffer, move-only callback type ---
+
+TEST(EventFn, InlineForSmallCallables) {
+  struct Small {
+    u64 a, b, c;
+    u64* out;
+    void operator()() { *out = a + b + c; }
+  };
+  static_assert(EventFn::fits_inline<Small>());
+  u64 result = 0;
+  EventFn fn = Small{1, 2, 3, &result};
+  fn();
+  EXPECT_EQ(result, 6u);
+}
+
+TEST(EventFn, HeapFallbackForLargeCallables) {
+  struct Big {
+    u64 pad[16];
+    u64* out;
+    void operator()() { *out = pad[0] + pad[15]; }
+  };
+  static_assert(!EventFn::fits_inline<Big>());
+  u64 result = 0;
+  Big big{};
+  big.pad[0] = 40;
+  big.pad[15] = 2;
+  big.out = &result;
+  EventFn fn = big;
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(result, 42u);
+}
+
+TEST(EventFn, MoveOnlyCapturesWork) {
+  auto payload = std::make_unique<int>(7);
+  int result = 0;
+  EventFn fn = [p = std::move(payload), &result] { result = *p; };
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(EventFn, SchedulableWithMoveOnlyCapture) {
+  Simulator s;
+  auto payload = std::make_unique<int>(9);
+  int result = 0;
+  s.schedule_in(3, [p = std::move(payload), &result] { result = *p; });
+  s.run();
+  EXPECT_EQ(result, 9);
 }
 
 // --- clock domains ---
