@@ -99,17 +99,22 @@ void OffloadDriver::run_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pi
       pos += n;
     }
     auto idx = std::make_shared<std::size_t>(0);
+    // The stored closure references itself only weakly; each in-flight DMA
+    // continuation holds the strong reference. A strong self-capture would
+    // be a shared_ptr cycle — the closure (and `done`) would never free.
     auto step = std::make_shared<std::function<void()>>();
-    *step = [this, segs, idx, to_pinned, step, done = std::move(done)]() mutable {
+    *step = [this, segs, idx, to_pinned, wstep = std::weak_ptr<std::function<void()>>(step),
+             done = std::move(done)]() mutable {
       if (*idx >= segs->size()) {
         done();
         return;
       }
       const Seg s = (*segs)[(*idx)++];
+      auto cont = [self = wstep.lock()] { (*self)(); };
       if (to_pinned)
-        dma_.copy(s.user_pa, s.pinned_pa, s.bytes, [step] { (*step)(); });
+        dma_.copy(s.user_pa, s.pinned_pa, s.bytes, std::move(cont));
       else
-        dma_.copy(s.pinned_pa, s.user_pa, s.bytes, [step] { (*step)(); });
+        dma_.copy(s.pinned_pa, s.user_pa, s.bytes, std::move(cont));
     };
     (*step)();
   });
@@ -122,8 +127,12 @@ void OffloadDriver::cpu_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pi
   // its completion time, so partial copies interleave consistently with
   // other masters.
   auto pos = std::make_shared<u64>(0);
+  // Weak self-reference; the bus-request continuations keep it alive (see
+  // the scatter-gather path above for why a strong capture would leak).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, pos, va, pinned, bytes, to_pinned, step, done = std::move(done)]() mutable {
+  *step = [this, pos, va, pinned, bytes, to_pinned,
+           wstep = std::weak_ptr<std::function<void()>>(step),
+           done = std::move(done)]() mutable {
     if (*pos >= bytes) {
       done();
       return;
@@ -140,12 +149,13 @@ void OffloadDriver::cpu_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pi
     const PhysAddr src = to_pinned ? user_pa : pinned + off;
     const PhysAddr dst = to_pinned ? pinned + off : user_pa;
     *pos += chunk;
-    bus_.request(mem::BusRequest{src, chunk, false, [this, src, dst, chunk, step] {
-      bus_.request(mem::BusRequest{dst, chunk, true, [this, src, dst, chunk, step] {
+    auto self = wstep.lock();
+    bus_.request(mem::BusRequest{src, chunk, false, [this, src, dst, chunk, self] {
+      bus_.request(mem::BusRequest{dst, chunk, true, [this, src, dst, chunk, self] {
         std::vector<u8> tmp(chunk);
         pm_.read(src, std::span<u8>(tmp.data(), tmp.size()));
         pm_.write(dst, std::span<const u8>(tmp.data(), tmp.size()));
-        (*step)();
+        (*self)();
       }});
     }});
   };

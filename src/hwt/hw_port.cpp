@@ -66,12 +66,17 @@ void HwMemPort::step(const std::shared_ptr<Xfer>& x) {
   const u32 chunk = static_cast<u32>(
       std::min<u64>({to_page_end, x->buf.size() - x->pos, cfg_.max_burst_bytes}));
 
+  // The pin covers translation (including any fault service) through bus
+  // completion: the physical address captured below stays valid because no
+  // replacement policy will victimize a pinned page.
+  if (as_ != nullptr) as_->pin(va);
   mmu_.translate(va, x->is_write, [this, x, va, chunk](PhysAddr pa) {
-    bus_.request(mem::BusRequest{pa, chunk, x->is_write, [this, x, pa, chunk] {
+    bus_.request(mem::BusRequest{pa, chunk, x->is_write, [this, x, va, pa, chunk] {
       if (x->is_write)
         pm_.write(pa, std::span<const u8>(x->buf.data() + x->pos, chunk));
       else
         pm_.read(pa, std::span<u8>(x->buf.data() + x->pos, chunk));
+      if (as_ != nullptr) as_->unpin(va);
       x->pos += chunk;
       step(x);
     }});

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "hwt/ports.hpp"
+#include "mem/address_space.hpp"
 #include "mem/bus.hpp"
 #include "mem/mmu.hpp"
 #include "mem/physmem.hpp"
@@ -33,6 +34,12 @@ class HwMemPort final : public MemPort {
 
   mem::Mmu& mmu() noexcept { return mmu_; }
 
+  /// Enables in-flight page pinning against `as`: each chunk holds a pin
+  /// from translation start to bus completion so replacement policies never
+  /// evict the frame underneath a committed transaction. Memory-pressure
+  /// systems wire this; nullptr (the default) keeps the pre-pressure model.
+  void set_address_space(mem::AddressSpace* as) noexcept { as_ = as; }
+
  private:
   struct Xfer;
   void step(const std::shared_ptr<Xfer>& x);
@@ -41,6 +48,7 @@ class HwMemPort final : public MemPort {
   mem::Mmu& mmu_;
   mem::MemoryBus& bus_;
   mem::PhysicalMemory& pm_;
+  mem::AddressSpace* as_ = nullptr;
   HwPortConfig cfg_;
   std::string name_;
 

@@ -74,6 +74,15 @@ u64 AddressSpace::evict(VirtAddr va, u64 bytes) {
   return evicted;
 }
 
+void AddressSpace::pin(VirtAddr va) { ++pins_[va / page_bytes()]; }
+
+void AddressSpace::unpin(VirtAddr va) {
+  const u64 vpn = va / page_bytes();
+  auto it = pins_.find(vpn);
+  require(it != pins_.end(), "unpin of a page that holds no pins");
+  if (--it->second == 0) pins_.erase(it);
+}
+
 std::optional<PhysAddr> AddressSpace::translate(VirtAddr va) const {
   const auto pte = pt_.lookup(va);
   if (!pte) return std::nullopt;

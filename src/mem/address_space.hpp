@@ -98,6 +98,17 @@ class AddressSpace {
   /// been evicted at least once).
   bool has_backing(u64 vpn) const { return backing_.count(vpn) != 0; }
 
+  /// Page-pin refcounts: a hardware port holds a pin across each in-flight
+  /// access (translate -> bus completion), and replacement policies skip
+  /// pinned pages — the kernel's page-lock-during-I/O discipline. Without
+  /// it, a cross-process eviction could retarget the frame underneath a
+  /// committed bus transaction. Pins are by vpn and may outlive residency
+  /// (a faulting page is pinned before it maps).
+  void pin(VirtAddr va);
+  void unpin(VirtAddr va);
+  bool is_pinned_vpn(u64 vpn) const { return pins_.count(vpn) != 0; }
+  u64 pinned_pages() const noexcept { return static_cast<u64>(pins_.size()); }
+
   /// At most one observer; pass nullptr to detach.
   void set_residency_observer(ResidencyObserver* obs) noexcept { observer_ = obs; }
 
@@ -116,6 +127,7 @@ class AddressSpace {
   PageTable pt_;
   VirtAddr brk_;
   std::unordered_map<u64, std::vector<u8>> backing_;  // vpn -> page contents
+  std::unordered_map<u64, u32> pins_;                 // vpn -> in-flight access count
   std::set<u64> resident_vpns_;  // ordered: deterministic policy seeding
   u64 demand_maps_ = 0;
   ResidencyObserver* observer_ = nullptr;

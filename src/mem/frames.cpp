@@ -1,5 +1,6 @@
 #include "mem/frames.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -26,6 +27,7 @@ std::optional<u64> FrameAllocator::alloc() {
     if (!used_[idx]) {
       used_[idx] = true;
       --free_count_;
+      peak_used_ = std::max(peak_used_, total_ - free_count_);
       scan_hint_ = idx + 1;
       return (base_ + idx * frame_bytes_) / frame_bytes_;
     }
@@ -43,6 +45,7 @@ std::optional<u64> FrameAllocator::alloc_contiguous(u64 count) {
       const u64 first = idx + 1 - count;
       for (u64 j = first; j <= idx; ++j) used_[j] = true;
       free_count_ -= count;
+      peak_used_ = std::max(peak_used_, total_ - free_count_);
       return (base_ + first * frame_bytes_) / frame_bytes_;
     }
   }

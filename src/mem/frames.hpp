@@ -23,6 +23,10 @@ class FrameAllocator {
   u64 free_frames() const noexcept { return free_count_; }
   u64 used_frames() const noexcept { return total_ - free_count_; }
 
+  /// High-water mark of used_frames() over the allocator's lifetime — how
+  /// close an over-subscription scenario actually came to exhaustion.
+  u64 peak_used_frames() const noexcept { return peak_used_; }
+
   /// Allocates one frame; returns its global frame number (physical address
   /// = frame * frame_bytes), or nullopt when exhausted. Exhaustion is a
   /// normal event under memory pressure — the pager reclaims and retries.
@@ -49,6 +53,7 @@ class FrameAllocator {
   u64 free_count_;
   std::vector<bool> used_;  // indexed by local frame index
   u64 scan_hint_ = 0;       // next index to try, keeps alloc O(1) amortized
+  u64 peak_used_ = 0;
 };
 
 }  // namespace vmsls::mem

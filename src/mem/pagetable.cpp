@@ -152,4 +152,15 @@ bool PageTable::test_and_clear_accessed(VirtAddr va) const {
   return was;
 }
 
+bool PageTable::test_and_clear_dirty(VirtAddr va) const {
+  auto leaf = find_leaf_pte_addr(va);
+  if (!leaf) return false;
+  Pte pte = Pte::decode(pm_.read_u64(*leaf));
+  if (!pte.valid) return false;
+  const bool was = pte.dirty;
+  pte.dirty = false;
+  pm_.write_u64(*leaf, pte.encode());
+  return was;
+}
+
 }  // namespace vmsls::mem

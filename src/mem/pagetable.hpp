@@ -82,6 +82,11 @@ class PageTable {
   /// Returns false when the page is unmapped.
   bool test_and_clear_accessed(VirtAddr va) const;
 
+  /// Reads and clears the dirty bit (the pageout daemon's cleaning
+  /// primitive: once the writeback is issued the page is clean until the
+  /// next write dirties it again). Returns false when the page is unmapped.
+  bool test_and_clear_dirty(VirtAddr va) const;
+
   /// Number of interior table frames allocated so far (root included).
   u64 table_frames() const noexcept { return table_frames_; }
 

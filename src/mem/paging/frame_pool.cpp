@@ -1,0 +1,191 @@
+#include "mem/paging/frame_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "mem/paging/pager.hpp"
+#include "util/log.hpp"
+
+namespace vmsls::paging {
+
+const char* budget_mode_name(BudgetMode mode) noexcept {
+  switch (mode) {
+    case BudgetMode::kPerProcess: return "per-process";
+    case BudgetMode::kGlobal: return "global";
+  }
+  return "?";
+}
+
+FramePool::FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      name_(std::move(name)),
+      evictions_(sim.stats().counter(name_ + ".evictions")),
+      cross_evictions_(sim.stats().counter(name_ + ".cross_evictions")),
+      rebalances_(sim.stats().counter(name_ + ".rebalances")) {
+  // The global sweep reuses the per-process policy implementations over
+  // packed (member, vpn) keys; accessed bits resolve through the owner's
+  // page table.
+  policy_ = make_policy(
+      cfg_.policy,
+      AccessedProbe([this](u64 key) {
+        const auto member = key >> kMemberShift;
+        const u64 vpn = key & ((1ull << kMemberShift) - 1);
+        Pager* p = member < members_.size() ? members_[member] : nullptr;
+        return p != nullptr && p->probe_accessed(vpn);
+      }),
+      cfg_.policy_seed);
+  policy_->set_pinned_probe([this](u64 key) {
+    const auto member = key >> kMemberShift;
+    const u64 vpn = key & ((1ull << kMemberShift) - 1);
+    Pager* p = member < members_.size() ? members_[member] : nullptr;
+    return p != nullptr && p->space().is_pinned_vpn(vpn);
+  });
+}
+
+u64 FramePool::pack(u64 member, u64 vpn) const {
+  require(vpn < (1ull << kMemberShift), "vpn does not fit the pool's key packing");
+  return (member << kMemberShift) | vpn;
+}
+
+unsigned FramePool::member_id(const Pager& pager) const {
+  for (unsigned i = 0; i < members_.size(); ++i)
+    if (members_[i] == &pager) return i;
+  throw std::logic_error(name_ + ": pager '" + pager.name() + "' is not attached");
+}
+
+u64 FramePool::members() const noexcept {
+  u64 n = 0;
+  for (const Pager* p : members_)
+    if (p != nullptr) ++n;
+  return n;
+}
+
+void FramePool::attach(Pager& pager) {
+  require(pager.pool_ == nullptr, "pager is already attached to a frame pool");
+  // auto_budget silently degrading to a static split would be the worst
+  // failure mode — every member must actually produce WS estimates.
+  require(!cfg_.auto_budget || cfg_.mode != BudgetMode::kPerProcess ||
+              pager.config().ws_interval > 0,
+          "auto_budget pool: pager '" + pager.name() +
+              "' has no working-set estimator (ws_interval == 0), so rebalancing "
+              "would never run");
+  // Reuse a vacated slot (stable ids) before growing.
+  unsigned id = static_cast<unsigned>(members_.size());
+  for (unsigned i = 0; i < members_.size(); ++i) {
+    if (members_[i] == nullptr) {
+      id = i;
+      break;
+    }
+  }
+  if (id == members_.size())
+    members_.push_back(&pager);
+  else
+    members_[id] = &pager;
+  pager.pool_ = this;
+  // Pages already resident (pinned buffers, pre-attach traffic) enter the
+  // global sweep and the aggregate residency count, as do any frame
+  // reservations of faults already in flight.
+  pager.space().for_each_resident([this, id](u64 vpn) {
+    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(pack(id, vpn));
+    ++resident_;
+  });
+  pending_ += pager.pending_pages();
+  peak_resident_ = std::max(peak_resident_, resident_);
+}
+
+void FramePool::detach(Pager& pager) {
+  const unsigned id = member_id(pager);
+  pager.space().for_each_resident([this, id](u64 vpn) {
+    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(pack(id, vpn));
+    --resident_;
+  });
+  // The member's in-flight fault reservations leave with it; a stale
+  // pending_ would fake permanent pressure for the survivors.
+  note_pending(-static_cast<i64>(pager.pending_pages()));
+  members_[id] = nullptr;
+  pager.pool_ = nullptr;
+}
+
+void FramePool::note_map(const Pager& pager, u64 vpn) {
+  // The global sweep ring is only consulted by kGlobal victim selection;
+  // in kPerProcess mode maintaining it would be O(resident) churn per
+  // map/unmap for state nothing ever reads.
+  if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(pack(member_id(pager), vpn));
+  ++resident_;
+  peak_resident_ = std::max(peak_resident_, resident_);
+}
+
+void FramePool::note_unmap(const Pager& pager, u64 vpn) {
+  if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(pack(member_id(pager), vpn));
+  require(resident_ > 0, "pool residency underflow");
+  --resident_;
+}
+
+void FramePool::note_pending(i64 delta) {
+  if (delta >= 0) {
+    pending_ += static_cast<u64>(delta);
+  } else {
+    const u64 d = static_cast<u64>(-delta);
+    require(pending_ >= d, "pool pending underflow");
+    pending_ -= d;
+  }
+}
+
+bool FramePool::over_budget() const noexcept {
+  return cfg_.mode == BudgetMode::kGlobal && cfg_.total_frames > 0 &&
+         resident_ + pending_ > cfg_.total_frames;
+}
+
+bool FramePool::over_watermark(u64 pct) const noexcept {
+  if (cfg_.total_frames == 0) return false;
+  return (resident_ + pending_) * 100 >= cfg_.total_frames * pct;
+}
+
+std::optional<FramePool::Victim> FramePool::pick_victim() {
+  const auto key = policy_->pick_victim();
+  if (!key) return std::nullopt;
+  const auto member = *key >> kMemberShift;
+  Victim v;
+  v.owner = members_.at(member);
+  v.vpn = *key & ((1ull << kMemberShift) - 1);
+  require(v.owner != nullptr, "pool victim belongs to a detached member");
+  return v;
+}
+
+void FramePool::record_eviction(const Pager& asking, const Pager& owner) {
+  evictions_.add();
+  if (&asking != &owner) cross_evictions_.add();
+}
+
+void FramePool::note_ws_update() {
+  if (!cfg_.auto_budget || cfg_.mode != BudgetMode::kPerProcess || cfg_.total_frames == 0)
+    return;
+  // Re-divide the machine budget proportional to the working-set estimates.
+  // Members without an estimate yet keep their current budget — rebalancing
+  // starts once every process has reported.
+  u64 sum = 0;
+  for (Pager* p : members_) {
+    if (p == nullptr) continue;
+    if (!p->has_ws_estimate()) return;  // rebalance once everyone reported
+    sum += p->ws_demand_pages();
+  }
+  if (sum == 0) return;
+  for (Pager* p : members_) {
+    if (p == nullptr) continue;
+    const u64 target = cfg_.total_frames * p->ws_demand_pages() / sum;
+    // Move halfway toward the WS-proportional target rather than jumping:
+    // a fault-stalled process momentarily references few pages, and an
+    // undamped cut would spiral it (smaller budget -> more stalls -> even
+    // smaller estimate).
+    // Round toward the target so repeated sweeps converge in both
+    // directions instead of sticking one page away.
+    const u64 current = p->frame_budget();
+    const u64 damped = (current + target + (target > current ? 1 : 0)) / 2;
+    p->set_frame_budget(std::max(cfg_.min_budget, damped));
+  }
+  rebalances_.add();
+}
+
+}  // namespace vmsls::paging

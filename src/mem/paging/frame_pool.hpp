@@ -1,0 +1,140 @@
+// Shared physical-frame arbiter for multi-process over-subscription.
+//
+// Several processes — each with its own address space, pager daemon, and
+// swap device — contend for one physical frame pool. The pool supports two
+// budget regimes:
+//
+//   kPerProcess — every pager enforces its own frame budget on its fault
+//                 path (the PR 1 model); the pool only aggregates residency
+//                 and, with auto_budget, re-divides the total budget between
+//                 processes in proportion to their estimated working sets.
+//   kGlobal     — one machine-wide budget. A faulting pager asks the pool
+//                 for victims, and the global CLOCK / aging-LRU sweep is
+//                 free to nominate *another process's* page; the victim is
+//                 evicted through its owner's Process (TLB shootdown and
+//                 walk-cache flush invariants preserved) and a dirty victim
+//                 pays writeback on its owner's swap device.
+//
+// Victim bookkeeping reuses the pager's ReplacementPolicy implementations:
+// the pool packs (member id, vpn) into the policy's opaque 64-bit keys, so
+// the exact CLOCK ring that sweeps one process sweeps all of them — and a
+// single-member global pool is cycle-identical to a per-process budget of
+// the same size.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/paging/replacement.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmsls::paging {
+
+class Pager;
+
+enum class BudgetMode { kPerProcess, kGlobal };
+
+const char* budget_mode_name(BudgetMode mode) noexcept;
+
+struct FramePoolConfig {
+  BudgetMode mode = BudgetMode::kPerProcess;
+  /// Aggregate data-page budget. In kGlobal mode this is the machine-wide
+  /// cap the sweep enforces; in kPerProcess mode it is the budget that
+  /// auto_budget re-divides between members. 0 = unlimited (pool tracks
+  /// residency but never forces eviction).
+  u64 total_frames = 0;
+  /// Global sweep policy (kGlobal mode victim selection).
+  PolicyKind policy = PolicyKind::kClock;
+  u64 policy_seed = 1;
+  /// Re-divide total_frames between members after each working-set sweep,
+  /// proportional to the estimated working sets (kPerProcess mode only).
+  bool auto_budget = false;
+  /// Floor for auto-sized per-process budgets.
+  u64 min_budget = 2;
+};
+
+class FramePool {
+ public:
+  struct Victim {
+    Pager* owner = nullptr;
+    u64 vpn = 0;
+  };
+
+  FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::string name = "pool");
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  const FramePoolConfig& config() const noexcept { return cfg_; }
+
+  /// Registers a pager with the pool (and the pool with the pager). Pages
+  /// already resident in the pager's address space are seeded into the
+  /// global sweep. Member order is attach order — deterministic.
+  void attach(Pager& pager);
+
+  /// Unregisters; the member's pages leave the global sweep.
+  void detach(Pager& pager);
+
+  // --- residency accounting (forwarded by member pagers) ---
+  void note_map(const Pager& pager, u64 vpn);
+  void note_unmap(const Pager& pager, u64 vpn);
+  void note_pending(i64 delta);
+
+  /// A member finished a working-set sweep: with auto_budget, re-divide
+  /// total_frames between members proportional to their estimates.
+  void note_ws_update();
+
+  /// kGlobal mode: aggregate residency (plus in-flight fault reservations)
+  /// exceeds the machine-wide budget.
+  bool over_budget() const noexcept;
+
+  /// True when aggregate residency crossed `pct` percent of the budget —
+  /// the pageout daemon's pressure signal.
+  bool over_watermark(u64 pct) const noexcept;
+
+  /// Nominates the next victim across every member (global sweep). The
+  /// caller evicts through the owner; eviction feeds back via note_unmap.
+  std::optional<Victim> pick_victim();
+
+  /// Caller reports the eviction it performed so cross-process pressure is
+  /// visible in the stats ("pool.cross_evictions").
+  void record_eviction(const Pager& asking, const Pager& owner);
+
+  u64 members() const noexcept;
+  u64 resident_pages() const noexcept { return resident_; }
+  /// High-water mark of aggregate residency — the budget-invariant probe
+  /// (never exceeds total_frames in kGlobal mode once enforcement runs).
+  u64 peak_resident_pages() const noexcept { return peak_resident_; }
+
+  /// Restarts the high-water mark from current residency. Experiment
+  /// harnesses call this after setup traffic (eager data loading bypasses
+  /// the fault path and legitimately overshoots the budget).
+  void reset_peak_residency() noexcept { peak_resident_ = resident_; }
+  u64 pending_pages() const noexcept { return pending_; }
+  u64 budget() const noexcept { return cfg_.total_frames; }
+  u64 evictions() const noexcept { return evictions_.value(); }
+  u64 cross_evictions() const noexcept { return cross_evictions_.value(); }
+  u64 rebalances() const noexcept { return rebalances_.value(); }
+
+ private:
+  static constexpr unsigned kMemberShift = 44;  // vpns fit far below 2^44
+
+  u64 pack(u64 member, u64 vpn) const;
+  unsigned member_id(const Pager& pager) const;
+
+  sim::Simulator& sim_;
+  FramePoolConfig cfg_;
+  std::string name_;
+  std::vector<Pager*> members_;  // index = member id; nullptr after detach
+  std::unique_ptr<ReplacementPolicy> policy_;
+  u64 resident_ = 0;
+  u64 pending_ = 0;
+  u64 peak_resident_ = 0;
+
+  Counter& evictions_;
+  Counter& cross_evictions_;
+  Counter& rebalances_;
+};
+
+}  // namespace vmsls::paging

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "rt/os.hpp"
 #include "rt/process.hpp"
 #include "util/log.hpp"
 
@@ -14,12 +15,17 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
       cfg_(cfg),
       name_(std::move(name)),
       swap_(sim, cfg.swap, as_.page_bytes(), name_ + ".swap"),
-      policy_(make_policy(cfg.policy, as_.page_table(), cfg.policy_seed)),
+      policy_(make_policy(
+          cfg.policy, [this](u64 vpn) { return probe_accessed(vpn); }, cfg.policy_seed)),
       evictions_(sim.stats().counter(name_ + ".evictions")),
       swap_ins_(sim.stats().counter(name_ + ".swap_ins")),
       writebacks_(sim.stats().counter(name_ + ".writebacks")),
       reclaims_(sim.stats().counter(name_ + ".reclaims")),
-      fault_stall_(sim.stats().histogram(name_ + ".fault_stall")) {
+      pageouts_(sim.stats().counter(name_ + ".pageouts")),
+      ws_sweeps_(sim.stats().counter(name_ + ".ws_sweeps")),
+      fault_stall_(sim.stats().histogram(name_ + ".fault_stall")),
+      ws_hist_(sim.stats().histogram(name_ + ".ws_pages")) {
+  policy_->set_pinned_probe([this](u64 vpn) { return as_.is_pinned_vpn(vpn); });
   as_.set_residency_observer(this);
   as_.set_reclaim_hook([this](u64 pages) { return reclaim(pages); });
   // Pages already resident when the pager attaches (pinned buffers mapped at
@@ -28,6 +34,7 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
 }
 
 Pager::~Pager() {
+  if (pool_) pool_->detach(*this);
   as_.set_residency_observer(nullptr);
   as_.set_reclaim_hook(nullptr);
 }
@@ -35,15 +42,42 @@ Pager::~Pager() {
 unsigned Pager::page_bits() const noexcept { return as_.page_table().config().page_bits; }
 
 void Pager::on_map(u64 vpn) {
-  pending_maps_.erase(vpn);
+  if (pending_maps_.erase(vpn) > 0 && pool_) pool_->note_pending(-1);
   policy_->on_insert(vpn);
+  ws_last_ref_[vpn] = sim_.now();  // a fresh mapping is by definition referenced
+  if (pool_) pool_->note_map(*this, vpn);
+  note_activity();
 }
 
 void Pager::on_unmap(u64 vpn, bool dirty) {
   (void)dirty;  // contents always reach the backing store; the *time* for
                 // dirty pages is charged on the pager's own eviction path
   policy_->on_remove(vpn);
+  ws_last_ref_.erase(vpn);
   swap_.note_swapped(vpn);
+  if (pool_) pool_->note_unmap(*this, vpn);
+  note_activity();
+}
+
+bool Pager::page_dirty(u64 vpn) const {
+  const auto pte = as_.page_table().lookup(vpn << page_bits());
+  return pte && pte->dirty;
+}
+
+bool Pager::probe_accessed(u64 vpn) {
+  // Every consumer of the accessed bit funnels through here — the pager's
+  // own policy, the pool's global sweep, and the WS estimator — so a
+  // reference consumed by one is still credited to the working-set clock.
+  // (The bit is a single hardware resource; without this the estimator
+  // undercounts exactly when eviction sweeps run hottest.)
+  if (!as_.page_table().test_and_clear_accessed(vpn << page_bits())) return false;
+  ws_last_ref_[vpn] = sim_.now();
+  return true;
+}
+
+void Pager::evict_resident(u64 vpn) {
+  process_.evict(vpn << page_bits(), 1);  // shoots down TLBs + flushes walk caches
+  evictions_.add();
 }
 
 void Pager::ensure_frame_available(std::function<void()> then) {
@@ -53,16 +87,38 @@ void Pager::ensure_frame_available(std::function<void()> then) {
   // are stack-safe).
   // Frames reserved by not-yet-mapped faults count against the budget, or
   // two in-flight faults would double-spend one freed frame.
+  if (pool_ != nullptr && cfg_.budget_mode == BudgetMode::kGlobal) {
+    // Machine-wide budget: the pool's global sweep nominates victims, which
+    // may belong to another process. The victim's owner performs the
+    // eviction (its shootdown invariants) and absorbs the writeback on its
+    // own swap device; this pager's fault merely waits for the frame.
+    while (pool_->over_budget()) {
+      const auto victim = pool_->pick_victim();
+      if (!victim) break;
+      Pager& owner = *victim->owner;
+      const bool dirty = owner.page_dirty(victim->vpn);
+      log_debug(name_, "global evict ", owner.name_, " vpn=0x", std::hex, victim->vpn,
+                dirty ? " (dirty)" : " (clean)");
+      pool_->record_eviction(*this, owner);
+      owner.evict_resident(victim->vpn);
+      if (dirty) {
+        owner.writebacks_.add();
+        owner.swap_.write_page(victim->vpn, [this, then = std::move(then)]() mutable {
+          ensure_frame_available(std::move(then));
+        });
+        return;
+      }
+    }
+    then();
+    return;
+  }
   while (cfg_.frame_budget != 0 &&
          as_.resident_pages() + pending_maps_.size() > cfg_.frame_budget) {
     const auto victim = policy_->pick_victim();
     if (!victim) break;
-    const VirtAddr vva = *victim << page_bits();
-    const auto pte = as_.page_table().lookup(vva);
-    const bool dirty = pte && pte->dirty;
+    const bool dirty = page_dirty(*victim);
     log_debug(name_, "evict vpn=0x", std::hex, *victim, dirty ? " (dirty)" : " (clean)");
-    process_.evict(vva, 1);  // shoots down TLBs + flushes walk caches
-    evictions_.add();
+    evict_resident(*victim);
     if (dirty) {
       writebacks_.add();
       swap_.write_page(*victim, [this, then = std::move(then)]() mutable {
@@ -74,8 +130,17 @@ void Pager::ensure_frame_available(std::function<void()> then) {
   then();
 }
 
+void Pager::complete_fault(u64 vpn, Cycles start, std::function<void()>& ready) {
+  auto waiters = std::move(inflight_faults_[vpn]);
+  inflight_faults_.erase(vpn);
+  fault_stall_.record(sim_.now() - start);
+  ready();
+  for (auto& w : waiters) w();
+}
+
 void Pager::handle_fault(VirtAddr va, bool is_write, std::function<void()> ready) {
   (void)is_write;
+  note_activity();
   const Cycles start = sim_.now();
   const u64 vpn = va >> page_bits();
   if (as_.is_mapped(va)) {
@@ -85,32 +150,33 @@ void Pager::handle_fault(VirtAddr va, bool is_write, std::function<void()> ready
     ready();
     return;
   }
-  if (auto it = inflight_swap_ins_.find(vpn); it != inflight_swap_ins_.end()) {
-    // Same page is mid-read: coalesce onto that read before any eviction —
-    // this fault consumes no frame of its own.
+  ++faults_since_sweep_;
+  if (auto it = inflight_faults_.find(vpn); it != inflight_faults_.end()) {
+    // A fault on this page is already securing a frame — possibly suspended
+    // mid-eviction on an async dirty writeback — or mid swap-in. Coalesce
+    // before any budget work: this fault consumes no frame of its own and
+    // must not issue a second device read (the double swap-in race).
     it->second.push_back([this, ready = std::move(ready), start] {
       fault_stall_.record(sim_.now() - start);
       ready();
     });
     return;
   }
-  pending_maps_.insert(vpn);
+  inflight_faults_.emplace(vpn, std::vector<std::function<void()>>{});
+  // The vpn can already be pending: a prior fault's `ready` fired (erasing
+  // its inflight entry) but the OS tail has not mapped the page yet. The
+  // reservation is then already counted — don't count it twice.
+  if (pending_maps_.insert(vpn).second && pool_) pool_->note_pending(+1);
   ensure_frame_available([this, va, vpn, ready = std::move(ready), start]() mutable {
     // A concurrent fault may have brought the page in already — don't pay
     // (or serialize on) a second device read for a resident page.
     if (!as_.is_mapped(va) && swap_.holds(vpn)) {
       swap_ins_.add();
-      inflight_swap_ins_.emplace(vpn, std::vector<std::function<void()>>{});
-      swap_.read_page(vpn, [this, vpn, ready = std::move(ready), start] {
-        auto waiters = std::move(inflight_swap_ins_[vpn]);
-        inflight_swap_ins_.erase(vpn);
-        fault_stall_.record(sim_.now() - start);
-        ready();
-        for (auto& w : waiters) w();
+      swap_.read_page(vpn, [this, vpn, ready = std::move(ready), start]() mutable {
+        complete_fault(vpn, start, ready);
       });
     } else {
-      fault_stall_.record(sim_.now() - start);
-      ready();
+      complete_fault(vpn, start, ready);
     }
   });
 }
@@ -120,12 +186,109 @@ u64 Pager::reclaim(u64 pages) {
   for (u64 i = 0; i < pages; ++i) {
     const auto victim = policy_->pick_victim();
     if (!victim) break;
-    process_.evict(*victim << page_bits(), 1);
-    evictions_.add();
+    evict_resident(*victim);
     reclaims_.add();
     ++done;
   }
   return done;
+}
+
+// --- background services -------------------------------------------------
+//
+// Both daemons are periodic but activity-gated: a tick re-arms itself only
+// when the process showed paging activity since the previous tick, and any
+// fault or residency change re-arms an idle daemon. This keeps the event
+// queue drainable — an idle simulation quiesces instead of ticking forever.
+
+void Pager::note_activity() {
+  ++activity_;
+  arm_daemons();
+}
+
+void Pager::arm_daemons() {
+  if (cfg_.ws_interval > 0 && !ws_armed_) {
+    ws_armed_ = true;
+    ws_seen_activity_ = activity_;
+    sim_.schedule_in(cfg_.ws_interval, [this] { ws_sweep(); });
+  }
+  if (cfg_.pageout_interval > 0 && !pageout_armed_) {
+    pageout_armed_ = true;
+    pageout_seen_activity_ = activity_;
+    sim_.schedule_in(cfg_.pageout_interval, [this] { pageout_tick(); });
+  }
+}
+
+void Pager::ws_sweep() {
+  ws_sweeps_.add();
+  const Cycles window = cfg_.ws_window > 0 ? cfg_.ws_window : cfg_.ws_interval;
+  // Sample the accessed bits (ordered resident walk — deterministic) and
+  // age out pages unreferenced for longer than the window.
+  as_.for_each_resident([this](u64 vpn) { probe_accessed(vpn); });
+  u64 ws = 0;
+  for (const auto& [vpn, last] : ws_last_ref_)
+    if (sim_.now() - last <= window) ++ws;
+  ws_pages_ = ws;
+  // Fault-frequency correction: each fault in the window is a page that
+  // wanted residency the references could not show (see ws_demand_pages).
+  ws_demand_ = ws + faults_since_sweep_;
+  faults_since_sweep_ = 0;
+  ws_hist_.record(ws);
+  if (pool_) pool_->note_ws_update();
+  if (activity_ != ws_seen_activity_) {
+    ws_seen_activity_ = activity_;
+    sim_.schedule_in(cfg_.ws_interval, [this] { ws_sweep(); });
+  } else {
+    ws_armed_ = false;
+  }
+}
+
+bool Pager::over_pageout_watermark() const {
+  if (pool_ != nullptr && cfg_.budget_mode == BudgetMode::kGlobal)
+    return pool_->over_watermark(cfg_.pageout_watermark_pct);
+  if (cfg_.frame_budget == 0) return false;
+  return (resident_pages() + pending_pages()) * 100 >=
+         cfg_.frame_budget * cfg_.pageout_watermark_pct;
+}
+
+void Pager::pageout_tick() {
+  // The scan itself is functional; the tick's CPU time (when an OS model is
+  // attached) and the page writes (on the swap device port) are timed.
+  auto work = [this] {
+    u64 cleaned = 0;
+    bool port_blocked = false;
+    if (over_pageout_watermark()) {
+      // Yield to demand traffic: if the device port is mid-transfer when
+      // the tick fires, defer the whole batch to a later tick. Once the
+      // port is free, submit up to pageout_batch writes — they queue on
+      // the port like any batched background I/O.
+      if (swap_.busy()) {
+        port_blocked = true;
+      } else {
+        as_.for_each_resident([this, &cleaned](u64 vpn) {
+          if (cleaned >= cfg_.pageout_batch) return;
+          if (as_.is_pinned_vpn(vpn)) return;  // in-flight access may re-dirty it
+          if (as_.page_table().test_and_clear_dirty(vpn << page_bits())) {
+            swap_.write_page(vpn, [] {});
+            pageouts_.add();
+            ++cleaned;
+          }
+        });
+      }
+    }
+    // Keep ticking while there is work (progress made, or work deferred to
+    // a busy port) or the process is still active; otherwise quiesce.
+    if (cleaned > 0 || port_blocked || activity_ != pageout_seen_activity_) {
+      pageout_seen_activity_ = activity_;
+      sim_.schedule_in(cfg_.pageout_interval, [this] { pageout_tick(); });
+    } else {
+      pageout_armed_ = false;
+    }
+  };
+  if (os_ != nullptr && daemon_tick_cost_ > 0) {
+    os_->exec_service(daemon_tick_cost_, std::move(work));
+  } else {
+    work();
+  }
 }
 
 }  // namespace vmsls::paging

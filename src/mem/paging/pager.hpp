@@ -8,6 +8,22 @@
 // TLB-shootdown / walk-cache-flush invariants — and charges swap-device
 // time for dirty writebacks and swap-ins. With frame_budget == 0 the pager
 // is inert and the fault path degenerates to the pre-pressure model.
+//
+// Under multi-process over-subscription the pager attaches to a shared
+// FramePool: in kGlobal budget mode the fault path asks the pool for
+// victims (which may belong to another process), and two optional
+// background services run ahead of pressure:
+//
+//   * a WSClock-style working-set estimator that periodically sweeps the
+//     accessed bits and reports how many pages the process referenced
+//     within the sampling window (the pool's auto_budget uses this to
+//     re-divide the machine budget), and
+//   * a pageout daemon that writes dirty resident pages to swap while the
+//     system idles toward the watermark, so later evictions are clean and
+//     the fault path does not stall on writeback.
+//
+// Both services are activity-gated: they re-arm on faults and mappings and
+// disarm when the process quiesces, so the event queue still drains.
 #pragma once
 
 #include <functional>
@@ -18,13 +34,15 @@
 #include <vector>
 
 #include "mem/address_space.hpp"
+#include "mem/paging/frame_pool.hpp"
 #include "mem/paging/replacement.hpp"
 #include "mem/paging/swap_device.hpp"
 #include "sim/simulator.hpp"
 
 namespace vmsls::rt {
 class Process;
-}
+class OsModel;
+}  // namespace vmsls::rt
 
 namespace vmsls::paging {
 
@@ -35,6 +53,24 @@ struct PagerConfig {
   PolicyKind policy = PolicyKind::kClock;
   SwapConfig swap{};
   u64 policy_seed = 1;  // feeds the RANDOM policy only
+
+  /// kGlobal defers budget enforcement to the attached FramePool (the
+  /// machine-wide sweep); kPerProcess keeps it on frame_budget.
+  BudgetMode budget_mode = BudgetMode::kPerProcess;
+
+  /// Working-set estimator sweep period in cycles; 0 disables it.
+  Cycles ws_interval = 0;
+  /// Pages referenced within this many cycles count toward the working
+  /// set; 0 = one sweep interval.
+  Cycles ws_window = 0;
+
+  /// Pageout daemon period in cycles; 0 disables it.
+  Cycles pageout_interval = 0;
+  /// Dirty pages cleaned (written back, dirty bit cleared) per tick.
+  u64 pageout_batch = 4;
+  /// Daemon runs only above this percentage of the frame budget (pool
+  /// budget in kGlobal mode) — "ahead of pressure", not constantly.
+  u64 pageout_watermark_pct = 75;
 };
 
 class Pager final : public mem::ResidencyObserver {
@@ -46,8 +82,18 @@ class Pager final : public mem::ResidencyObserver {
   Pager& operator=(const Pager&) = delete;
 
   const PagerConfig& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return name_; }
   SwapDevice& swap() noexcept { return swap_; }
   ReplacementPolicy& policy() noexcept { return *policy_; }
+  rt::Process& process() noexcept { return process_; }
+  mem::AddressSpace& space() noexcept { return as_; }
+
+  /// Background services (pageout daemon ticks) charge their CPU time on
+  /// the OS service cores when a model is attached; nullptr = free ticks.
+  void set_os(rt::OsModel* os, Cycles tick_cost) noexcept {
+    os_ = os;
+    daemon_tick_cost_ = tick_cost;
+  }
 
   // --- mem::ResidencyObserver (driven by the address space) ---
   void on_map(u64 vpn) override;
@@ -57,7 +103,10 @@ class Pager final : public mem::ResidencyObserver {
   /// charging writeback time for dirty ones) and charges swap-in time when
   /// the faulting page lives in swap. `ready` fires once the frame is
   /// guaranteed available and the page contents are on their way in; the
-  /// caller then maps the page and retries the access.
+  /// caller then maps the page and retries the access. Concurrent faults on
+  /// one page coalesce from the moment the first fault starts securing a
+  /// frame: one frame reservation and at most one device read serve all
+  /// waiters, even when the first fault suspends on an async writeback.
   void handle_fault(VirtAddr va, bool is_write, std::function<void()> ready);
 
   /// Synchronous emergency reclaim (frame-allocator pressure callback):
@@ -65,12 +114,48 @@ class Pager final : public mem::ResidencyObserver {
   /// Returns pages actually reclaimed.
   u64 reclaim(u64 pages);
 
+  // --- FramePool interface ---
+  u64 frame_budget() const noexcept { return cfg_.frame_budget; }
+  void set_frame_budget(u64 budget) noexcept { cfg_.frame_budget = budget; }
+  u64 resident_pages() const noexcept { return as_.resident_pages(); }
+  u64 pending_pages() const noexcept { return static_cast<u64>(pending_maps_.size()); }
+  bool page_dirty(u64 vpn) const;
+  /// Test-and-clear of the accessed bit (pool global sweep + own policy);
+  /// observed references feed the working-set clock.
+  bool probe_accessed(u64 vpn);
+  /// Evicts one resident page through the process (TLB shootdown + walk
+  /// cache flush) and counts it; the caller charges any writeback time.
+  void evict_resident(u64 vpn);
+
+  /// Latest working-set estimate (pages referenced within the window);
+  /// 0 until the first sweep completes.
+  u64 working_set_pages() const noexcept { return ws_pages_; }
+
+  /// Budget demand: the WS estimate plus a fault-frequency correction
+  /// (faults observed in the last window). A thrashing process cannot
+  /// exhibit its working set through references — with two frames it only
+  /// ever touches two pages — so its fault rate carries the demand signal
+  /// instead (Denning's WS + PFF hybrid). What the pool's auto-budget uses.
+  u64 ws_demand_pages() const noexcept { return ws_demand_; }
+
+  /// True once at least one estimator sweep has completed.
+  bool has_ws_estimate() const noexcept { return ws_sweeps_.value() > 0; }
+
   u64 evictions() const noexcept { return evictions_.value(); }
   u64 swap_ins() const noexcept { return swap_ins_.value(); }
   u64 writebacks() const noexcept { return writebacks_.value(); }
+  u64 pageouts() const noexcept { return pageouts_.value(); }
 
  private:
+  friend class FramePool;  // attach/detach set pool_
+
   void ensure_frame_available(std::function<void()> then);
+  void complete_fault(u64 vpn, Cycles start, std::function<void()>& ready);
+  void note_activity();
+  void arm_daemons();
+  void ws_sweep();
+  void pageout_tick();
+  bool over_pageout_watermark() const;
   unsigned page_bits() const noexcept;
 
   sim::Simulator& sim_;
@@ -80,19 +165,42 @@ class Pager final : public mem::ResidencyObserver {
   std::string name_;
   SwapDevice swap_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  /// Faults coalescing on an in-flight swap-in: one device read serves all
-  /// waiters (the kernel's wait-on-page-lock behavior).
-  std::unordered_map<u64, std::vector<std::function<void()>>> inflight_swap_ins_;
+  FramePool* pool_ = nullptr;
+  rt::OsModel* os_ = nullptr;
+  Cycles daemon_tick_cost_ = 0;
+
+  /// Faults coalescing on a page whose frame is being secured or whose
+  /// contents are mid-read: one reservation + one device read serve all
+  /// waiters (the kernel's wait-on-page-lock behavior). An entry exists
+  /// from the moment the first fault passes the residency check until its
+  /// `ready` fires.
+  std::unordered_map<u64, std::vector<std::function<void()>>> inflight_faults_;
   /// Pages a fault has reserved a frame for but not yet mapped. Counted
   /// against the budget so concurrent faults cannot double-spend one freed
   /// frame; entries clear when the page maps (on_map).
   std::unordered_set<u64> pending_maps_;
 
+  // --- working-set estimator state ---
+  std::unordered_map<u64, Cycles> ws_last_ref_;  // vpn -> last observed reference
+  u64 ws_pages_ = 0;
+  u64 ws_demand_ = 0;
+  u64 faults_since_sweep_ = 0;
+
+  // --- activity gating for the background services ---
+  u64 activity_ = 0;
+  u64 ws_seen_activity_ = 0;
+  u64 pageout_seen_activity_ = 0;
+  bool ws_armed_ = false;
+  bool pageout_armed_ = false;
+
   Counter& evictions_;
   Counter& swap_ins_;
   Counter& writebacks_;
   Counter& reclaims_;
+  Counter& pageouts_;
+  Counter& ws_sweeps_;
   Histogram& fault_stall_;
+  Histogram& ws_hist_;
 };
 
 }  // namespace vmsls::paging

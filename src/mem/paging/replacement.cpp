@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace vmsls::paging {
 
@@ -30,26 +31,26 @@ namespace {
 /// clearing accessed bits, and evicts the first page found unreferenced.
 class ClockPolicy final : public ReplacementPolicy {
  public:
-  explicit ClockPolicy(const mem::PageTable& pt) : pt_(pt) {}
+  explicit ClockPolicy(AccessedProbe probe) : probe_(std::move(probe)) {}
 
   const char* name() const noexcept override { return "clock"; }
   u64 tracked_pages() const noexcept override { return ring_.size(); }
 
-  void on_insert(u64 vpn) override {
+  void on_insert(u64 key) override {
     // New pages enter just behind the hand: they get a full sweep before
     // first consideration.
-    ring_.insert(ring_.begin() + static_cast<std::ptrdiff_t>(hand_), vpn);
+    ring_.insert(ring_.begin() + static_cast<std::ptrdiff_t>(hand_), key);
     ++hand_;
     if (hand_ >= ring_.size()) hand_ = 0;
   }
 
-  void on_remove(u64 vpn) override {
+  void on_remove(u64 key) override {
     // Fast path: the pager evicts the page the hand just nominated.
     u64 idx;
-    if (!ring_.empty() && ring_[hand_] == vpn) {
+    if (!ring_.empty() && ring_[hand_] == key) {
       idx = hand_;
     } else {
-      auto it = std::find(ring_.begin(), ring_.end(), vpn);
+      auto it = std::find(ring_.begin(), ring_.end(), key);
       if (it == ring_.end()) return;
       idx = static_cast<u64>(it - ring_.begin());
     }
@@ -61,17 +62,24 @@ class ClockPolicy final : public ReplacementPolicy {
   std::optional<u64> pick_victim() override {
     if (ring_.empty()) return std::nullopt;
     // At most two sweeps: the first clears every accessed bit, the second
-    // must find a victim.
+    // must find a victim. Pinned pages behave as permanently referenced
+    // (their accessed bits are left alone).
     for (u64 step = 0; step < 2 * ring_.size(); ++step) {
-      const u64 vpn = ring_[hand_];
-      if (!pt_.test_and_clear_accessed(vpn << pt_.config().page_bits)) return vpn;
+      const u64 key = ring_[hand_];
+      if (!is_pinned(key) && !probe_(key)) return key;
       hand_ = (hand_ + 1) % ring_.size();
     }
-    return ring_[hand_];
+    // Everything stayed referenced: take the first unpinned page at the
+    // hand; only pins can make victim selection fail entirely.
+    for (u64 step = 0; step < ring_.size(); ++step) {
+      const u64 key = ring_[(hand_ + step) % ring_.size()];
+      if (!is_pinned(key)) return key;
+    }
+    return std::nullopt;
   }
 
  private:
-  const mem::PageTable& pt_;
+  AccessedProbe probe_;
   std::vector<u64> ring_;
   u64 hand_ = 0;
 };
@@ -81,31 +89,32 @@ class ClockPolicy final : public ReplacementPolicy {
 /// smallest history value is the least recently used page.
 class LruApproxPolicy final : public ReplacementPolicy {
  public:
-  explicit LruApproxPolicy(const mem::PageTable& pt) : pt_(pt) {}
+  explicit LruApproxPolicy(AccessedProbe probe) : probe_(std::move(probe)) {}
 
   const char* name() const noexcept override { return "lru"; }
   u64 tracked_pages() const noexcept override { return ages_.size(); }
 
-  void on_insert(u64 vpn) override { ages_[vpn] = 0x80; }
-  void on_remove(u64 vpn) override { ages_.erase(vpn); }
+  void on_insert(u64 key) override { ages_[key] = 0x80; }
+  void on_remove(u64 key) override { ages_.erase(key); }
 
   std::optional<u64> pick_victim() override {
     if (ages_.empty()) return std::nullopt;
     std::optional<u64> victim;
     unsigned best_age = 256;
-    for (auto& [vpn, age] : ages_) {
-      const bool used = pt_.test_and_clear_accessed(vpn << pt_.config().page_bits);
+    for (auto& [key, age] : ages_) {
+      const bool used = probe_(key);
       age = static_cast<u8>((age >> 1) | (used ? 0x80 : 0));
-      if (age < best_age) {  // ties resolve to the lowest vpn (map order)
+      if (is_pinned(key)) continue;  // aged but never nominated
+      if (age < best_age) {  // ties resolve to the lowest key (map order)
         best_age = age;
-        victim = vpn;
+        victim = key;
       }
     }
     return victim;
   }
 
  private:
-  const mem::PageTable& pt_;
+  AccessedProbe probe_;
   std::map<u64, u8> ages_;  // ordered: deterministic sweep and tie-breaks
 };
 
@@ -114,21 +123,22 @@ class FifoPolicy final : public ReplacementPolicy {
   const char* name() const noexcept override { return "fifo"; }
   u64 tracked_pages() const noexcept override { return queue_.size(); }
 
-  void on_insert(u64 vpn) override { queue_.push_back(vpn); }
+  void on_insert(u64 key) override { queue_.push_back(key); }
 
-  void on_remove(u64 vpn) override {
+  void on_remove(u64 key) override {
     // Fast path: the pager evicts the head pick_victim just returned.
-    if (!queue_.empty() && queue_.front() == vpn) {
+    if (!queue_.empty() && queue_.front() == key) {
       queue_.pop_front();
       return;
     }
-    auto it = std::find(queue_.begin(), queue_.end(), vpn);
+    auto it = std::find(queue_.begin(), queue_.end(), key);
     if (it != queue_.end()) queue_.erase(it);
   }
 
   std::optional<u64> pick_victim() override {
-    if (queue_.empty()) return std::nullopt;
-    return queue_.front();
+    for (const u64 key : queue_)
+      if (!is_pinned(key)) return key;
+    return std::nullopt;
   }
 
  private:
@@ -142,14 +152,14 @@ class RandomPolicy final : public ReplacementPolicy {
   const char* name() const noexcept override { return "random"; }
   u64 tracked_pages() const noexcept override { return pages_.size(); }
 
-  void on_insert(u64 vpn) override { pages_.push_back(vpn); }
+  void on_insert(u64 key) override { pages_.push_back(key); }
 
-  void on_remove(u64 vpn) override {
+  void on_remove(u64 key) override {
     // Order carries no meaning here, so removal is swap-with-back; the
     // last nomination makes the pager's evict O(1).
-    auto it = (last_pick_ < pages_.size() && pages_[last_pick_] == vpn)
+    auto it = (last_pick_ < pages_.size() && pages_[last_pick_] == key)
                   ? pages_.begin() + static_cast<std::ptrdiff_t>(last_pick_)
-                  : std::find(pages_.begin(), pages_.end(), vpn);
+                  : std::find(pages_.begin(), pages_.end(), key);
     if (it == pages_.end()) return;
     *it = pages_.back();
     pages_.pop_back();
@@ -157,8 +167,16 @@ class RandomPolicy final : public ReplacementPolicy {
 
   std::optional<u64> pick_victim() override {
     if (pages_.empty()) return std::nullopt;
-    last_pick_ = rng_.below(pages_.size());
-    return pages_[last_pick_];
+    // One draw, then a deterministic forward scan past any pinned pages.
+    const u64 start = rng_.below(pages_.size());
+    for (u64 step = 0; step < pages_.size(); ++step) {
+      const u64 idx = (start + step) % pages_.size();
+      if (!is_pinned(pages_[idx])) {
+        last_pick_ = idx;
+        return pages_[idx];
+      }
+    }
+    return std::nullopt;
   }
 
  private:
@@ -169,11 +187,10 @@ class RandomPolicy final : public ReplacementPolicy {
 
 }  // namespace
 
-std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, const mem::PageTable& pt,
-                                               u64 seed) {
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, AccessedProbe probe, u64 seed) {
   switch (kind) {
-    case PolicyKind::kClock: return std::make_unique<ClockPolicy>(pt);
-    case PolicyKind::kLruApprox: return std::make_unique<LruApproxPolicy>(pt);
+    case PolicyKind::kClock: return std::make_unique<ClockPolicy>(std::move(probe));
+    case PolicyKind::kLruApprox: return std::make_unique<LruApproxPolicy>(std::move(probe));
     case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
     case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
   }

@@ -38,6 +38,11 @@ class SwapDevice {
   bool holds(u64 vpn) const { return slots_.count(vpn) != 0; }
   u64 slots_in_use() const noexcept { return slots_.size(); }
 
+  /// True while a transfer occupies the device port. Background cleaning
+  /// (the pageout daemon) yields to demand traffic by checking this —
+  /// proactive writes must not delay the swap-ins faults are stalled on.
+  bool busy() const noexcept { return port_free_ > sim_.now(); }
+
   /// Timed page write (swap-out). Allocates a slot for `vpn`; `done` fires
   /// when the transfer completes on the device port.
   void write_page(u64 vpn, std::function<void()> done);

@@ -37,6 +37,7 @@ struct OsConfig {
   unsigned copy_bytes_per_cycle = 8;  // page-content fill bandwidth
   unsigned service_cores = 1;       // host cores available to the runtime
   Cycles sw_syscall = 60;           // a software thread's direct syscall cost
+  Cycles daemon_service = 300;      // one background pageout-daemon tick on a core
 };
 
 /// Host-CPU service resource: OS paths run to completion on one of

@@ -6,7 +6,11 @@
 namespace vmsls::rt {
 
 Process::Process(sim::Simulator& sim, mem::AddressSpace& as, std::string name)
-    : sim_(sim), as_(as), name_(std::move(name)) {}
+    : sim_(sim),
+      as_(as),
+      name_(std::move(name)),
+      shootdowns_(sim.stats().counter("proc." + name_ + ".shootdowns")),
+      evicted_pages_(sim.stats().counter("proc." + name_ + ".evicted_pages")) {}
 
 Mailbox& Process::add_mailbox(unsigned depth, const std::string& name) {
   const std::string n = name.empty() ? name_ + ".mbox" + std::to_string(mailboxes_.size()) : name;
@@ -49,7 +53,8 @@ u64 Process::evict(VirtAddr va, u64 bytes) {
     for (VirtAddr p = align_down(va, page); p < va + bytes; p += page)
       for (auto* mmu : mmus_) mmu->shootdown(p);
     for (auto* w : walkers_) w->flush_cache();
-    ++shootdowns_;
+    shootdowns_.add();
+    evicted_pages_.add(evicted);
   }
   return evicted;
 }
@@ -57,7 +62,7 @@ u64 Process::evict(VirtAddr va, u64 bytes) {
 void Process::shootdown_all() {
   for (auto* mmu : mmus_) mmu->shootdown_all();
   for (auto* w : walkers_) w->flush_cache();
-  ++shootdowns_;
+  shootdowns_.add();
 }
 
 }  // namespace vmsls::rt

@@ -56,7 +56,8 @@ class Process {
 
   /// Convenience typed heap accessors (software-side, zero cost).
   VirtAddr alloc(u64 bytes, u64 align = 16) { return as_.alloc(bytes, align); }
-  u64 shootdowns() const noexcept { return shootdowns_; }
+  u64 shootdowns() const noexcept { return shootdowns_.value(); }
+  u64 evicted_pages() const noexcept { return evicted_pages_.value(); }
 
  private:
   sim::Simulator& sim_;
@@ -66,7 +67,10 @@ class Process {
   std::vector<std::unique_ptr<Semaphore>> semaphores_;
   std::vector<mem::Mmu*> mmus_;
   std::vector<mem::PageWalker*> walkers_;
-  u64 shootdowns_ = 0;
+  // Registry counters ("proc.<name>.*") so multi-process runs can report
+  // per-process shootdown pressure from a stats snapshot alone.
+  Counter& shootdowns_;
+  Counter& evicted_pages_;
 };
 
 }  // namespace vmsls::rt

@@ -18,77 +18,57 @@ DesignSpaceExplorer::DesignSpaceExplorer(PlatformSpec platform, SynthesisOptions
 DseResult DesignSpaceExplorer::explore_tlb(const AppSpec& app, const std::string& thread,
                                            const std::vector<unsigned>& entry_candidates,
                                            const Evaluator& evaluate) {
-  require(!entry_candidates.empty(), "DSE needs at least one candidate");
+  // A single pager point — the platform's configured operating point — so
+  // this stays the plain TLB sweep it always was.
+  PagerCandidate base;
+  base.frame_budget = platform_.pager.frame_budget;
+  base.policy = platform_.pager.policy;
+  return explore_pager_tlb(app, thread, entry_candidates, {base}, evaluate);
+}
+
+DseResult DesignSpaceExplorer::explore_pager_tlb(const AppSpec& app, const std::string& thread,
+                                                 const std::vector<unsigned>& entry_candidates,
+                                                 const std::vector<PagerCandidate>& pager_candidates,
+                                                 const Evaluator& evaluate) {
+  require(!entry_candidates.empty(), "DSE needs at least one TLB candidate");
+  require(!pager_candidates.empty(), "DSE needs at least one pager candidate");
   app.thread(thread);  // throws for unknown thread names
 
   DseResult result;
-  SynthesisFlow flow(platform_, options_);
 
-  // Phase 1 (serial): synthesize every candidate. This is host-microseconds
+  // Phase 1 (serial): synthesize every grid point. This is host-microseconds
   // per point; keeping it on one thread keeps SynthesisFlow single-threaded.
   std::vector<SystemImage> images;
-  images.reserve(entry_candidates.size());
-  for (unsigned entries : entry_candidates) {
-    AppSpec variant = app;
-    for (auto& t : variant.threads) {
-      if (t.name != thread) continue;
-      mem::TlbConfig tlb = t.tlb_override.value_or(platform_.default_tlb);
-      tlb.entries = entries;
-      tlb.ways = std::min(tlb.ways, entries);
-      while (entries % tlb.ways != 0) tlb.ways /= 2;  // keep geometry legal
-      t.tlb_override = tlb;
-    }
-
-    images.push_back(flow.synthesize(variant));
-    DseCandidate cand;
-    cand.tlb_entries = entries;
-    cand.total = images.back().report().total;
-    cand.resource_utilization = images.back().report().utilization;
-    cand.fits = images.back().report().fits_budget;
-    result.candidates.push_back(cand);
-  }
-
-  // Phase 2 (parallel): score the fitting candidates. Every candidate
-  // elaborates onto its own Simulator inside `evaluate`, so workers share
-  // nothing; each writes only its own slot, and the result vector is
-  // byte-identical to the serial sweep whatever the thread count.
-  if (evaluate) {
-    std::vector<std::size_t> work;
-    for (std::size_t i = 0; i < result.candidates.size(); ++i)
-      if (result.candidates[i].fits) work.push_back(i);
-
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(threads_, work.size()));
-    if (workers <= 1) {
-      for (std::size_t i : work) {
-        result.candidates[i].cycles = evaluate(images[i]);
-        result.candidates[i].measured = true;
+  images.reserve(entry_candidates.size() * pager_candidates.size());
+  for (const PagerCandidate& pc : pager_candidates) {
+    PlatformSpec plat = platform_;
+    plat.pager.frame_budget = pc.frame_budget;
+    plat.pager.policy = pc.policy;
+    SynthesisFlow flow(plat, options_);
+    for (unsigned entries : entry_candidates) {
+      AppSpec variant = app;
+      for (auto& t : variant.threads) {
+        if (t.name != thread) continue;
+        mem::TlbConfig tlb = t.tlb_override.value_or(platform_.default_tlb);
+        tlb.entries = entries;
+        tlb.ways = std::min(tlb.ways, entries);
+        while (entries % tlb.ways != 0) tlb.ways /= 2;  // keep geometry legal
+        t.tlb_override = tlb;
       }
-    } else {
-      std::atomic<std::size_t> next{0};
-      std::vector<std::exception_ptr> errors(work.size());
-      auto drain = [&] {
-        for (std::size_t j = next.fetch_add(1); j < work.size(); j = next.fetch_add(1)) {
-          const std::size_t i = work[j];
-          try {
-            result.candidates[i].cycles = evaluate(images[i]);
-            result.candidates[i].measured = true;
-          } catch (...) {
-            errors[j] = std::current_exception();
-          }
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(workers - 1);
-      for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
-      drain();
-      for (auto& t : pool) t.join();
-      // Rethrow the lowest-index failure so the surfaced error does not
-      // depend on thread scheduling.
-      for (auto& e : errors)
-        if (e) std::rethrow_exception(e);
+
+      images.push_back(flow.synthesize(variant));
+      DseCandidate cand;
+      cand.tlb_entries = entries;
+      cand.frame_budget = pc.frame_budget;
+      cand.policy = pc.policy;
+      cand.total = images.back().report().total;
+      cand.resource_utilization = images.back().report().utilization;
+      cand.fits = images.back().report().fits_budget;
+      result.candidates.push_back(cand);
     }
   }
+
+  score(images, result, evaluate);
 
   // Pick the best point.
   for (std::size_t i = 0; i < result.candidates.size(); ++i) {
@@ -103,6 +83,49 @@ DseResult DesignSpaceExplorer::explore_tlb(const AppSpec& app, const std::string
     if (better) result.best = static_cast<int>(i);
   }
   return result;
+}
+
+// Phase 2 (parallel): score the fitting candidates. Every candidate
+// elaborates onto its own Simulator inside `evaluate`, so workers share
+// nothing; each writes only its own slot, and the result vector is
+// byte-identical to the serial sweep whatever the thread count.
+void DesignSpaceExplorer::score(std::vector<SystemImage>& images, DseResult& result,
+                                const Evaluator& evaluate) {
+  if (!evaluate) return;
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < result.candidates.size(); ++i)
+    if (result.candidates[i].fits) work.push_back(i);
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads_, work.size()));
+  if (workers <= 1) {
+    for (std::size_t i : work) {
+      result.candidates[i].cycles = evaluate(images[i]);
+      result.candidates[i].measured = true;
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(work.size());
+  auto drain = [&] {
+    for (std::size_t j = next.fetch_add(1); j < work.size(); j = next.fetch_add(1)) {
+      const std::size_t i = work[j];
+      try {
+        result.candidates[i].cycles = evaluate(images[i]);
+        result.candidates[i].measured = true;
+      } catch (...) {
+        errors[j] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (auto& t : pool) t.join();
+  // Rethrow the lowest-index failure so the surfaced error does not
+  // depend on thread scheduling.
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
 }
 
 }  // namespace vmsls::sls

@@ -1,22 +1,36 @@
 // Design-space exploration over interface-synthesis parameters.
 //
-// The flow's main tunable is each thread's TLB geometry: more entries cost
-// fabric resources but cut miss/walk traffic. The explorer synthesizes one
-// image per candidate, checks the resource budget, and (optionally) scores
-// candidates by running the elaborated system — the measure-everything
-// approach a simulator substrate makes cheap.
+// The flow's main tunables are each thread's TLB geometry (more entries
+// cost fabric resources but cut miss/walk traffic) and — once the platform
+// models memory pressure — the pager operating point (frame budget ×
+// replacement policy). The explorer synthesizes one image per candidate,
+// checks the resource budget, and (optionally) scores candidates by
+// running the elaborated system — the measure-everything approach a
+// simulator substrate makes cheap. Scoring fans out over a host thread
+// pool; results are bit-identical to the serial sweep.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "mem/paging/replacement.hpp"
 #include "sls/synthesis.hpp"
 
 namespace vmsls::sls {
 
+/// One pager operating point for the pager × TLB grid sweep.
+struct PagerCandidate {
+  u64 frame_budget = 0;  // 0 = pressure-free (pager inert)
+  paging::PolicyKind policy = paging::PolicyKind::kClock;
+};
+
 struct DseCandidate {
   unsigned tlb_entries = 0;
+  /// Pager operating point this candidate was synthesized with (the
+  /// platform default for plain TLB sweeps).
+  u64 frame_budget = 0;
+  paging::PolicyKind policy = paging::PolicyKind::kClock;
   Resources total{};
   double resource_utilization = 0.0;
   bool fits = false;
@@ -54,12 +68,23 @@ class DesignSpaceExplorer {
   void set_threads(unsigned threads) noexcept { threads_ = threads == 0 ? 1 : threads; }
   unsigned threads() const noexcept { return threads_; }
 
-  /// Sweeps `thread`'s TLB size over `entry_candidates`.
+  /// Sweeps `thread`'s TLB size over `entry_candidates` at the platform's
+  /// configured pager operating point.
   DseResult explore_tlb(const AppSpec& app, const std::string& thread,
                         const std::vector<unsigned>& entry_candidates,
                         const Evaluator& evaluate = nullptr);
 
+  /// Grid sweep: pager operating points × TLB sizes, all candidates
+  /// synthesized serially and scored through one thread pool. Candidate
+  /// order is pager-major (pager_candidates[0] × every TLB size first).
+  DseResult explore_pager_tlb(const AppSpec& app, const std::string& thread,
+                              const std::vector<unsigned>& entry_candidates,
+                              const std::vector<PagerCandidate>& pager_candidates,
+                              const Evaluator& evaluate = nullptr);
+
  private:
+  void score(std::vector<SystemImage>& images, DseResult& result, const Evaluator& evaluate);
+
   PlatformSpec platform_;
   SynthesisOptions options_;
   unsigned threads_ = 1;

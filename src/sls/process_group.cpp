@@ -1,0 +1,63 @@
+#include "sls/process_group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmsls::sls {
+
+ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
+                           const paging::FramePoolConfig& pool_cfg)
+    : sim_(sim), platform_(platform) {
+  const u64 page = 1ull << platform_.page_table.page_bits;
+  pm_ = std::make_unique<mem::PhysicalMemory>(platform_.dram.size_bytes);
+  frames_ = std::make_unique<mem::FrameAllocator>(0, platform_.dram.size_bytes / page, page);
+  dram_ = std::make_unique<mem::DramModel>(platform_.dram, sim_.stats(), "dram");
+  bus_ = std::make_unique<mem::MemoryBus>(sim_, *dram_, platform_.bus, "bus");
+  os_ = std::make_unique<rt::OsModel>(sim_, platform_.os, "os");
+  pool_ = std::make_unique<paging::FramePool>(sim_, pool_cfg, "pool");
+}
+
+System& ProcessGroup::add_process(const SystemImage& image, const std::string& instance) {
+  require(!instance.empty(), "process instance name must be non-empty");
+  require(std::find(instances_.begin(), instances_.end(), instance) == instances_.end(),
+          "duplicate process instance name '" + instance + "'");
+  require(image.platform().page_table.page_bits == platform_.page_table.page_bits,
+          "process page size does not match the group substrate");
+  SharedSubstrate shared;
+  shared.pm = pm_.get();
+  shared.frames = frames_.get();
+  shared.dram = dram_.get();
+  shared.bus = bus_.get();
+  shared.os = os_.get();
+  shared.pool = pool_.get();
+  systems_.push_back(image.elaborate(sim_, shared, instance));
+  instances_.push_back(instance);
+  return *systems_.back();
+}
+
+void ProcessGroup::start_all() {
+  for (auto& s : systems_) s->start_all();
+}
+
+bool ProcessGroup::all_halted() const noexcept {
+  for (const auto& s : systems_)
+    if (!s->all_halted()) return false;
+  return true;
+}
+
+Cycles ProcessGroup::run_to_completion(Cycles max_cycles) {
+  require(!systems_.empty(), "process group has no processes");
+  const Cycles t0 = sim_.now();
+  while (!all_halted()) {
+    if (!sim_.step()) {
+      std::string blocked;
+      for (const auto& s : systems_) blocked += s->running_thread_names();
+      throw std::runtime_error("deadlock: event queue empty with threads blocked:" + blocked);
+    }
+    if (sim_.now() - t0 > max_cycles)
+      throw std::runtime_error("simulation exceeded " + std::to_string(max_cycles) + " cycles");
+  }
+  return sim_.now() - t0;
+}
+
+}  // namespace vmsls::sls

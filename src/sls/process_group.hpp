@@ -1,0 +1,68 @@
+// Multi-process over-subscription harness.
+//
+// Builds the machine-wide substrate — one physical memory, one frame
+// allocator, one DRAM + bus pair, one set of OS service cores, and one
+// memory-pressure FramePool — and elaborates several SystemImages onto it
+// as separate processes. Each process keeps its own address space, page
+// tables, walker, fault handler, pager, and swap device; physical frames,
+// bus bandwidth, and OS cores are contended across all of them. This is
+// the configuration the over-subscription experiments (fig10) run: the
+// aggregate working set exceeds the frame budget, so the pagers fight.
+//
+// Determinism: construction order fixes member ids and stat names; the
+// run loop steps the one shared simulator, so event order is the usual
+// (time, insertion-order) contract across all processes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sls/system.hpp"
+
+namespace vmsls::sls {
+
+class ProcessGroup {
+ public:
+  /// `platform` sizes the shared substrate (DRAM, bus, OS cores, page
+  /// size); per-image platforms configure each process's threads, TLBs,
+  /// and pager. The page size must agree across all images.
+  ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
+               const paging::FramePoolConfig& pool_cfg);
+
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Elaborates `image` as process `instance` (stat prefix "<instance>.").
+  /// Instance names must be unique; attach order fixes pool member ids.
+  System& add_process(const SystemImage& image, const std::string& instance);
+
+  System& process(std::size_t i) { return *systems_.at(i); }
+  std::size_t size() const noexcept { return systems_.size(); }
+
+  paging::FramePool& pool() noexcept { return *pool_; }
+  mem::FrameAllocator& frames() noexcept { return *frames_; }
+  rt::OsModel& os() noexcept { return *os_; }
+  mem::MemoryBus& bus() noexcept { return *bus_; }
+
+  void start_all();
+  bool all_halted() const noexcept;
+
+  /// Runs until every started thread in every process halts. Throws on
+  /// deadlock or when `max_cycles` elapse. Returns cycles elapsed.
+  Cycles run_to_completion(Cycles max_cycles = 4'000'000'000ull);
+
+ private:
+  sim::Simulator& sim_;
+  PlatformSpec platform_;
+  std::unique_ptr<mem::PhysicalMemory> pm_;
+  std::unique_ptr<mem::FrameAllocator> frames_;
+  std::unique_ptr<mem::DramModel> dram_;
+  std::unique_ptr<mem::MemoryBus> bus_;
+  std::unique_ptr<rt::OsModel> os_;
+  std::unique_ptr<paging::FramePool> pool_;
+  std::vector<std::unique_ptr<System>> systems_;
+  std::vector<std::string> instances_;
+};
+
+}  // namespace vmsls::sls

@@ -64,6 +64,21 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
      << " faults=" << stats.counter_value(fault_handler_name + ".faults") << "\n";
 }
 
+void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,
+                              const std::string& pool_name) {
+  const auto pool = stats.snapshot_prefix(pool_name + ".");
+  if (pool.empty()) {
+    os << "pool: inactive (no shared frame pool)\n";
+    return;
+  }
+  const auto at = [&pool, &pool_name](const std::string& key) {
+    auto it = pool.find(pool_name + "." + key);
+    return it == pool.end() ? 0.0 : it->second;
+  };
+  os << "pool: evictions=" << at("evictions") << " cross_evictions=" << at("cross_evictions")
+     << " rebalances=" << at("rebalances") << "\n";
+}
+
 namespace {
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream f(path);

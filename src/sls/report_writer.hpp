@@ -31,6 +31,13 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
                          const std::string& pager_name = "pager",
                          const std::string& fault_handler_name = "faults");
 
+/// One-line summary of a shared FramePool after a multi-process
+/// over-subscription run: pool evictions, cross-process evictions, and
+/// auto-budget rebalances. Quiet (prints a note) when the registry holds
+/// no pool counters.
+void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,
+                              const std::string& pool_name = "pool");
+
 /// Convenience file writers; throw std::runtime_error on I/O failure.
 void save_report_markdown(const std::string& path, const SynthesisReport& report,
                           const std::string& title);

@@ -31,6 +31,7 @@
 namespace vmsls::sls {
 
 class System;
+struct SharedSubstrate;
 
 struct HwThreadPlan {
   std::string thread;
@@ -114,6 +115,11 @@ class SystemImage {
   /// Instantiates the full system (memory, MMUs, engines, runtime) on the
   /// given simulator.
   std::unique_ptr<System> elaborate(sim::Simulator& sim) const;
+
+  /// Elaborates against machine-wide shared components (multi-process
+  /// over-subscription); `instance` prefixes the system's stat names.
+  std::unique_ptr<System> elaborate(sim::Simulator& sim, const SharedSubstrate& shared,
+                                    std::string instance) const;
 
  private:
   friend class SynthesisFlow;

@@ -9,41 +9,80 @@ std::unique_ptr<System> SystemImage::elaborate(sim::Simulator& sim) const {
   return std::make_unique<System>(sim, *this);
 }
 
+std::unique_ptr<System> SystemImage::elaborate(sim::Simulator& sim, const SharedSubstrate& shared,
+                                               std::string instance) const {
+  return std::make_unique<System>(sim, *this, shared, std::move(instance));
+}
+
 System::System(sim::Simulator& sim, const SystemImage& image) : sim_(sim), image_(image) {
+  build(nullptr);
+}
+
+System::System(sim::Simulator& sim, const SystemImage& image, const SharedSubstrate& shared,
+               std::string instance)
+    : sim_(sim), image_(image), inst_(std::move(instance)) {
+  require(shared.pm && shared.frames && shared.dram && shared.bus && shared.os,
+          "shared substrate must supply pm, frames, dram, bus, and os");
+  if (!inst_.empty() && inst_.back() != '.') inst_ += '.';
+  build(&shared);
+}
+
+void System::build(const SharedSubstrate* shared) {
   const PlatformSpec& plat = image_.platform();
   const AppSpec& app = image_.app();
 
-  // --- memory system ---
-  pm_ = std::make_unique<mem::PhysicalMemory>(plat.dram.size_bytes);
+  // --- memory system: owned when standalone, borrowed when shared ---
   const u64 page = 1ull << plat.page_table.page_bits;
-  frames_ = std::make_unique<mem::FrameAllocator>(0, plat.dram.size_bytes / page, page);
-  dram_ = std::make_unique<mem::DramModel>(plat.dram, sim_.stats(), "dram");
-  bus_ = std::make_unique<mem::MemoryBus>(sim_, *dram_, plat.bus, "bus");
+  if (shared != nullptr) {
+    pm_ = shared->pm;
+    frames_ = shared->frames;
+    dram_ = shared->dram;
+    bus_ = shared->bus;
+    os_ = shared->os;
+    pool_ = shared->pool;
+    require(frames_->frame_bytes() == page,
+            "shared frame allocator page size does not match the platform page size");
+  } else {
+    owned_pm_ = std::make_unique<mem::PhysicalMemory>(plat.dram.size_bytes);
+    owned_frames_ =
+        std::make_unique<mem::FrameAllocator>(0, plat.dram.size_bytes / page, page);
+    owned_dram_ = std::make_unique<mem::DramModel>(plat.dram, sim_.stats(), "dram");
+    owned_bus_ = std::make_unique<mem::MemoryBus>(sim_, *owned_dram_, plat.bus, "bus");
+    pm_ = owned_pm_.get();
+    frames_ = owned_frames_.get();
+    dram_ = owned_dram_.get();
+    bus_ = owned_bus_.get();
+  }
   as_ = std::make_unique<mem::AddressSpace>(*pm_, *frames_, plat.page_table);
-  process_ = std::make_unique<rt::Process>(sim_, *as_, app.name);
+  process_ = std::make_unique<rt::Process>(sim_, *as_, inst_ + app.name);
   walker_ = std::make_unique<mem::PageWalker>(sim_, *bus_, *pm_, as_->page_table(), plat.walker,
-                                              "walker");
+                                              inst_ + "walker");
   process_->register_walker(walker_.get());
 
   // --- OS model ---
-  os_ = std::make_unique<rt::OsModel>(sim_, plat.os, "os");
-  faults_ = std::make_unique<rt::FaultHandler>(sim_, *os_, *process_, "faults");
+  if (shared == nullptr) {
+    owned_os_ = std::make_unique<rt::OsModel>(sim_, plat.os, "os");
+    os_ = owned_os_.get();
+  }
+  faults_ = std::make_unique<rt::FaultHandler>(sim_, *os_, *process_, inst_ + "faults");
 
   // --- pager daemon (memory-pressure model) ---
-  if (plat.pager.frame_budget > 0) {
+  if (plat.pager.frame_budget > 0 || pool_ != nullptr) {
     // The offload driver snapshots physical addresses for in-flight DMA;
     // without page pinning the pager could evict underneath it. Refuse the
     // combination loudly until pin support lands (see ROADMAP).
     require(!image_.options().include_dma,
             "pager frame budget and the DMA offload baseline cannot be combined yet "
             "(no page pinning)");
-    pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, "pager");
+    pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager");
+    pager_->set_os(os_, plat.os.daemon_service);
+    if (pool_ != nullptr) pool_->attach(*pager_);
     faults_->set_pager(pager_.get());
   }
 
   // --- application objects ---
-  for (const auto& m : app.mailboxes) process_->add_mailbox(m.depth, m.name);
-  for (const auto& s : app.semaphores) process_->add_semaphore(s.initial, s.name);
+  for (const auto& m : app.mailboxes) process_->add_mailbox(m.depth, inst_ + m.name);
+  for (const auto& s : app.semaphores) process_->add_semaphore(s.initial, inst_ + s.name);
   for (const auto& b : app.buffers) {
     const VirtAddr va = as_->alloc(b.bytes, page);
     buffers_[b.name] = va;
@@ -52,9 +91,9 @@ System::System(sim::Simulator& sim, const SystemImage& image) : sim_(sim), image
 
   // --- baseline DMA components ---
   if (image_.options().include_dma) {
-    dma_ = std::make_unique<dma::DmaEngine>(sim_, *bus_, *pm_, dma::DmaConfig{}, "dma");
+    dma_ = std::make_unique<dma::DmaEngine>(sim_, *bus_, *pm_, dma::DmaConfig{}, inst_ + "dma");
     offload_ = std::make_unique<dma::OffloadDriver>(sim_, *os_, *process_, *dma_, *bus_, *pm_,
-                                                    dma::OffloadConfig{}, "offload");
+                                                    dma::OffloadConfig{}, inst_ + "offload");
   }
 
   // --- threads ---
@@ -82,24 +121,31 @@ void System::build_hw_thread(const ThreadSpec& spec, const HwThreadPlan& plan) {
   mmu_cfg.translation_enabled = (plan.addressing == Addressing::kVirtual);
   mmu_cfg.prefetch_next_page = spec.prefetch_next_page;
   mmu_cfg.ad_tracking = (pager_ != nullptr);  // no consumer, no hit-path PT work
-  t.mmu = std::make_unique<mem::Mmu>(sim_, *walker_, mmu_cfg, "hwt." + spec.name + ".mmu",
-                                     plan.slot);
+  t.mmu = std::make_unique<mem::Mmu>(sim_, *walker_, mmu_cfg,
+                                     inst_ + "hwt." + spec.name + ".mmu", plan.slot);
   t.mmu->set_fault_sink(faults_.get());
   process_->register_mmu(t.mmu.get());
 
   const unsigned ports = std::max(1u, spec.kernel.iface.mem_ports);
-  for (unsigned p = 0; p < ports; ++p)
+  for (unsigned p = 0; p < ports; ++p) {
     t.ports.push_back(std::make_unique<hwt::HwMemPort>(
         sim_, *t.mmu, *bus_, *pm_, plan.port,
-        "hwt." + spec.name + ".port" + std::to_string(p)));
+        inst_ + "hwt." + spec.name + ".port" + std::to_string(p)));
+    // Under memory pressure, in-flight port accesses pin their pages so
+    // victim selection (including another process's, via the pool) never
+    // retargets a frame mid-transaction. Physically-addressed ports issue
+    // frame numbers, not vpns — pinning those would block the wrong pages.
+    if (pager_ != nullptr && plan.addressing == Addressing::kVirtual)
+      t.ports.back()->set_address_space(as_.get());
+  }
 
   t.os_port = std::make_unique<rt::DelegateOsPort>(sim_, *os_, *process_,
-                                                   "hwt." + spec.name + ".osif");
+                                                   inst_ + "hwt." + spec.name + ".osif");
   t.os_port->set_bindings(make_bindings(spec));
 
   hwt::EngineConfig ecfg;
   ecfg.cost = plat.hw_cost;
-  t.engine = std::make_unique<hwt::Engine>(sim_, spec.kernel, ecfg, "hwt." + spec.name);
+  t.engine = std::make_unique<hwt::Engine>(sim_, spec.kernel, ecfg, inst_ + "hwt." + spec.name);
   for (unsigned p = 0; p < ports; ++p) t.engine->attach_mem_port(p, t.ports[p].get());
   t.engine->attach_os_port(t.os_port.get());
 
@@ -111,15 +157,15 @@ void System::build_sw_thread(const ThreadSpec& spec) {
   SwThread t;
 
   t.caches = std::make_unique<mem::CacheHierarchy>(sim_, *bus_, plat.cpu.caches,
-                                                   "swt." + spec.name + ".cache");
+                                                   inst_ + "swt." + spec.name + ".cache");
   t.port = std::make_unique<cpu::CachedMemPort>(sim_, *as_, *t.caches,
-                                                "swt." + spec.name + ".port");
+                                                inst_ + "swt." + spec.name + ".port");
   t.os_port = std::make_unique<rt::DirectOsPort>(sim_, plat.os, *process_,
-                                                 "swt." + spec.name + ".osif");
+                                                 inst_ + "swt." + spec.name + ".osif");
   t.os_port->set_bindings(make_bindings(spec));
 
   t.engine = std::make_unique<hwt::Engine>(sim_, spec.kernel, cpu::engine_config(plat.cpu),
-                                           "swt." + spec.name);
+                                           inst_ + "swt." + spec.name);
   const unsigned ports = std::max(1u, spec.kernel.iface.mem_ports);
   for (unsigned p = 0; p < ports; ++p) t.engine->attach_mem_port(p, t.port.get());
   t.engine->attach_os_port(t.os_port.get());
@@ -173,17 +219,21 @@ void System::start_all() {
   for (const auto& spec : image_.app().threads) start_thread(spec.name);
 }
 
+std::string System::running_thread_names() const {
+  std::string blocked;
+  for (const auto& [name, t] : hw_)
+    if (t.engine->running()) blocked += " " + inst_ + name;
+  for (const auto& [name, t] : sw_)
+    if (t.engine->running()) blocked += " " + inst_ + name;
+  return blocked;
+}
+
 Cycles System::run_to_completion(Cycles max_cycles) {
   const Cycles t0 = sim_.now();
   while (!all_halted()) {
-    if (!sim_.step()) {
-      std::string blocked;
-      for (const auto& [name, t] : hw_)
-        if (t.engine->running()) blocked += " " + name;
-      for (const auto& [name, t] : sw_)
-        if (t.engine->running()) blocked += " " + name;
-      throw std::runtime_error("deadlock: event queue empty with threads blocked:" + blocked);
-    }
+    if (!sim_.step())
+      throw std::runtime_error("deadlock: event queue empty with threads blocked:" +
+                               running_thread_names());
     if (sim_.now() - t0 > max_cycles)
       throw std::runtime_error("simulation exceeded " + std::to_string(max_cycles) + " cycles");
   }

@@ -5,6 +5,14 @@
 // per-thread MMUs/ports/engines, the OS model with delegate threads and
 // the fault handler, and (optionally) the DMA engine + offload driver.
 // This is the "board" the paper's evaluation runs on.
+//
+// A System can alternatively be elaborated *into* a SharedSubstrate: the
+// physical memory, frame allocator, DRAM + bus, OS service cores, and the
+// memory-pressure FramePool come from outside and are shared with other
+// Systems on the same simulator. That is the multi-process
+// over-subscription configuration: each process keeps its own address
+// space, page tables, walker, fault handler, and pager, while frames and
+// bus bandwidth are contended machine-wide (see sls::ProcessGroup).
 #pragma once
 
 #include <map>
@@ -21,6 +29,7 @@
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/mmu.hpp"
+#include "mem/paging/frame_pool.hpp"
 #include "mem/paging/pager.hpp"
 #include "mem/physmem.hpp"
 #include "mem/walker.hpp"
@@ -30,9 +39,27 @@
 
 namespace vmsls::sls {
 
+/// Machine-wide components several Systems share on one simulator. All
+/// pointers must outlive every System elaborated against the substrate;
+/// `pool` may be null (no shared memory-pressure arbitration).
+struct SharedSubstrate {
+  mem::PhysicalMemory* pm = nullptr;
+  mem::FrameAllocator* frames = nullptr;
+  mem::DramModel* dram = nullptr;
+  mem::MemoryBus* bus = nullptr;
+  rt::OsModel* os = nullptr;
+  paging::FramePool* pool = nullptr;
+};
+
 class System {
  public:
   System(sim::Simulator& sim, const SystemImage& image);
+
+  /// Shared-substrate elaboration: memory, bus, OS cores, and the frame
+  /// pool come from outside; `instance` prefixes every component's stat
+  /// names (e.g. "p0.") so multiple processes coexist in one registry.
+  System(sim::Simulator& sim, const SystemImage& image, const SharedSubstrate& shared,
+         std::string instance);
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -48,8 +75,11 @@ class System {
   rt::FaultHandler& fault_handler() noexcept { return *faults_; }
 
   /// Present when the platform configures a frame budget (pager.frame_budget
-  /// > 0); nullptr otherwise.
+  /// > 0) or the system shares a FramePool; nullptr otherwise.
   paging::Pager* pager() noexcept { return pager_.get(); }
+
+  /// Stat-name prefix of this instance ("" for a standalone system).
+  const std::string& instance() const noexcept { return inst_; }
 
   hwt::Engine& engine(const std::string& thread);
   mem::Mmu& mmu(const std::string& thread);  // hardware threads only
@@ -69,9 +99,13 @@ class System {
   bool all_halted() const noexcept { return running_ == 0 && started_ > 0; }
   unsigned threads_running() const noexcept { return running_; }
 
+  /// Names of threads currently running (deadlock diagnostics).
+  std::string running_thread_names() const;
+
   /// Runs the simulation until every started thread halts. Throws on
   /// deadlock (event queue drained with threads blocked) or when `max`
-  /// cycles elapse. Returns cycles elapsed since the call.
+  /// cycles elapse. Returns cycles elapsed since the call. Standalone
+  /// systems only — a ProcessGroup steps all member systems together.
   Cycles run_to_completion(Cycles max_cycles = 2'000'000'000ull);
 
   const SystemImage& image() const noexcept { return image_; }
@@ -90,21 +124,33 @@ class System {
     std::unique_ptr<hwt::Engine> engine;
   };
 
+  void build(const SharedSubstrate* shared);
   void build_hw_thread(const ThreadSpec& spec, const HwThreadPlan& plan);
   void build_sw_thread(const ThreadSpec& spec);
   rt::OsBindings make_bindings(const ThreadSpec& spec) const;
 
   sim::Simulator& sim_;
   SystemImage image_;
+  std::string inst_;
 
-  std::unique_ptr<mem::PhysicalMemory> pm_;
-  std::unique_ptr<mem::FrameAllocator> frames_;
-  std::unique_ptr<mem::DramModel> dram_;
-  std::unique_ptr<mem::MemoryBus> bus_;
+  // Shared components: owned_* hold storage when this system stands alone;
+  // the raw pointers are what the rest of the system uses either way.
+  std::unique_ptr<mem::PhysicalMemory> owned_pm_;
+  std::unique_ptr<mem::FrameAllocator> owned_frames_;
+  std::unique_ptr<mem::DramModel> owned_dram_;
+  std::unique_ptr<mem::MemoryBus> owned_bus_;
+  std::unique_ptr<rt::OsModel> owned_os_;
+  mem::PhysicalMemory* pm_ = nullptr;
+  mem::FrameAllocator* frames_ = nullptr;
+  mem::DramModel* dram_ = nullptr;
+  mem::MemoryBus* bus_ = nullptr;
+  rt::OsModel* os_ = nullptr;
+  paging::FramePool* pool_ = nullptr;
+
+  // Per-process components, always owned.
   std::unique_ptr<mem::AddressSpace> as_;
   std::unique_ptr<rt::Process> process_;
   std::unique_ptr<mem::PageWalker> walker_;
-  std::unique_ptr<rt::OsModel> os_;
   std::unique_ptr<rt::FaultHandler> faults_;
   std::unique_ptr<paging::Pager> pager_;
   std::unique_ptr<dma::DmaEngine> dma_;

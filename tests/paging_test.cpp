@@ -3,6 +3,8 @@
 // shootdown + walk-cache flush + backing-store round trip).
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mem/mmu.hpp"
 #include "mem/paging/pager.hpp"
 #include "mem/paging/replacement.hpp"
@@ -147,6 +149,28 @@ TEST_F(PolicyFixture, LruAgingPrefersTheColdestPage) {
   EXPECT_EQ(policy->pick_victim(), vpn(1));
 }
 
+TEST_F(PolicyFixture, EveryPolicySkipsPinnedPages) {
+  // Pinned pages (in-flight hardware accesses) must never be nominated:
+  // evicting one would retarget the frame underneath a committed bus
+  // transaction. With everything pinned, selection fails outright.
+  for (const auto kind : {PolicyKind::kClock, PolicyKind::kLruApprox, PolicyKind::kFifo,
+                          PolicyKind::kRandom}) {
+    auto policy = make_policy(kind, ms.as.page_table(), 5);
+    std::set<u64> pinned;
+    policy->set_pinned_probe([&pinned](u64 key) { return pinned.count(key) != 0; });
+    map_pages(3);
+    for (unsigned i = 0; i < 3; ++i) policy->on_insert(vpn(i));
+    pinned = {vpn(0), vpn(1)};
+    for (int round = 0; round < 4; ++round) {
+      const auto victim = policy->pick_victim();
+      ASSERT_TRUE(victim.has_value()) << policy->name();
+      EXPECT_EQ(*victim, vpn(2)) << policy->name();
+    }
+    pinned.insert(vpn(2));
+    EXPECT_FALSE(policy->pick_victim().has_value()) << policy->name();
+  }
+}
+
 TEST_F(PolicyFixture, RandomIsDeterministicUnderASeed) {
   auto a = make_policy(PolicyKind::kRandom, ms.as.page_table(), 99);
   auto b = make_policy(PolicyKind::kRandom, ms.as.page_table(), 99);
@@ -274,6 +298,41 @@ TEST_F(PagerFixture, FrameExhaustionTriggersReclaimInsteadOfThrowing) {
   for (u64 i = 0; i < 8; ++i) as.write_u64(base + i * 4096, i + 1);
   EXPECT_GT(ms.sim.stats().counter_value("tiny_pager.reclaims"), 0u);
   for (u64 i = 0; i < 8; ++i) EXPECT_EQ(as.read_u64(base + i * 4096), i + 1);
+}
+
+TEST_F(PagerFixture, ConcurrentFaultsDuringWritebackCoalesceToOneSwapIn) {
+  // Regression for the double swap-in race: fault 1 on a swapped-out page
+  // suspends inside ensure_frame_available on an async dirty writeback;
+  // fault 2 on the same page arrives during the wait. It must coalesce onto
+  // fault 1 — not re-run budget enforcement and issue a second device read
+  // (which double-counted pager.swap_ins and evicted an extra victim).
+  make(/*budget=*/1);
+  const VirtAddr va_a = ms.as.alloc(4096, 4096);
+  const VirtAddr va_b = ms.as.alloc(4096, 4096);
+
+  // Page A: resident + dirty, then evicted by fiat -> its contents sit in
+  // swap, so a fault on it pays a device read.
+  ms.as.write_u64(va_a, 0xAAAA);
+  process.evict(va_a, 4096);
+  ASSERT_TRUE(pager->swap().holds(va_a >> 12));
+
+  // Page B: resident + dirty -> the next fault's victim needs a writeback.
+  ms.as.write_u64(va_b, 0xBBBB);
+  ASSERT_EQ(ms.as.resident_pages(), 1u);
+
+  const u64 evictions_before = pager->evictions();
+  bool first_ready = false, second_ready = false;
+  pager->handle_fault(va_a, /*is_write=*/false, [&] { first_ready = true; });
+  // Fault 1 is now suspended on B's writeback; fault 2 arrives mid-wait.
+  pager->handle_fault(va_a, /*is_write=*/false, [&] { second_ready = true; });
+  ms.run_all();
+
+  EXPECT_TRUE(first_ready);
+  EXPECT_TRUE(second_ready);
+  EXPECT_EQ(pager->swap_ins(), 1u);                         // single device read
+  EXPECT_EQ(pager->evictions(), evictions_before + 1);      // only B evicted
+  EXPECT_EQ(pager->swap().reads(), 1u);
+  EXPECT_EQ(pager->writebacks(), 1u);
 }
 
 TEST_F(PagerFixture, ObserverSeedsPolicyWithPagesResidentAtAttach) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_engine.json against the
+committed baseline and fail on a significant events/s regression.
+
+Usage:
+    tools/check_bench.py --fresh build/BENCH_engine.json \
+        [--baseline bench/baselines/BENCH_engine.json] [--threshold 0.25]
+
+Every section present in the baseline must exist in the fresh report and
+retire at least (1 - threshold) x the baseline events/s. Sections new in the
+fresh report are listed but do not gate (they gate once the baseline is
+refreshed). Sections with no baseline throughput (events_per_sec == 0) or
+fewer than --min-events simulated events are informational only — for those,
+events/s measures harness wall time, not engine throughput.
+
+Refreshing the baseline
+-----------------------
+The committed baseline encodes the slowest machine the gate is expected to
+run on. After an intentional engine change (or a runner upgrade):
+
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DVMSLS_LTO=ON
+    cmake --build build -j && (cd build && ./bench_micro_core)
+    cp build/BENCH_engine.json bench/baselines/BENCH_engine.json
+
+and commit the new file in the same PR as the change that moved the numbers,
+with a line in the PR description saying why.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            entries = json.load(f)
+    except OSError as e:
+        sys.exit(f"check_bench: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: {path} is not valid JSON: {e}")
+    if not isinstance(entries, list):
+        sys.exit(f"check_bench: {path}: expected a JSON array of sections")
+    out = {}
+    for e in entries:
+        if not isinstance(e, dict) or "name" not in e:
+            sys.exit(f"check_bench: {path}: malformed section entry: {e!r}")
+        out[e["name"]] = e
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--fresh", required=True, help="BENCH_engine.json from this build")
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_engine.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional events/s regression (default 0.25)")
+    ap.add_argument("--min-events", type=int, default=10000,
+                    help="sections with fewer baseline events are not gated (default 10000)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    rows = []
+    for name, base in baseline.items():
+        base_eps = float(base.get("events_per_sec", 0.0))
+        if base_eps <= 0.0:
+            rows.append((name, base_eps, None, "skipped (no baseline throughput)"))
+            continue
+        if int(base.get("events", 0)) < args.min_events:
+            rows.append((name, base_eps, None, "skipped (events/s not a throughput here)"))
+            continue
+        if name not in fresh:
+            failures.append(name)
+            rows.append((name, base_eps, None, "MISSING from fresh report"))
+            continue
+        fresh_eps = float(fresh[name].get("events_per_sec", 0.0))
+        ratio = fresh_eps / base_eps
+        ok = ratio >= 1.0 - args.threshold
+        if not ok:
+            failures.append(name)
+        rows.append((name, base_eps, fresh_eps,
+                     f"{ratio:6.2f}x {'ok' if ok else 'REGRESSION'}"))
+
+    new_sections = sorted(set(fresh) - set(baseline))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'section'.ljust(width)}  {'baseline ev/s':>14}  {'fresh ev/s':>14}  verdict")
+    for name, base_eps, fresh_eps, verdict in rows:
+        fresh_s = f"{fresh_eps:14.3e}" if fresh_eps is not None else " " * 14
+        print(f"{name.ljust(width)}  {base_eps:14.3e}  {fresh_s}  {verdict}")
+    if new_sections:
+        print(f"new sections (not gated until the baseline is refreshed): "
+              f"{', '.join(new_sections)}")
+
+    if failures:
+        print(f"\ncheck_bench: FAIL — {len(failures)} section(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        print("If intentional, refresh the baseline (see --help).")
+        return 1
+    print(f"\ncheck_bench: OK — all {len(rows)} gated section(s) within "
+          f"{args.threshold:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
