@@ -10,10 +10,24 @@
 //
 // The driver accounts each phase separately so the SVM-vs-DMA experiment
 // can report the copy/compute breakdown.
+//
+// Under memory pressure (a Pager attached via set_pager) the driver plays
+// by the paging subsystem's rules instead of snapshotting translations:
+// every page of a scatter-gather run is faulted in through the pager (so
+// swap-in and victim-writeback time is charged) and pinned for the
+// transfer's lifetime, and admission is budget-aware — a run whose pin
+// demand meets or exceeds the pin quota is chunked into quota-sized pieces,
+// and chunks queue behind earlier pin releases rather than deadlocking the
+// fault path. `offload.pin_stalls` / `offload.chunked_runs` count both
+// pressure reliefs.
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "dma/dma_engine.hpp"
 #include "mem/address_space.hpp"
@@ -21,12 +35,18 @@
 #include "rt/os.hpp"
 #include "rt/process.hpp"
 
+namespace vmsls::paging {
+class Pager;
+}
+
 namespace vmsls::dma {
 
 enum class CopyMode {
   kCpuCopy,  // driver memcpy through the CPU (line-sized bus transactions)
   kSgDma,    // pin user pages, scatter-gather DMA in page-sized bursts
 };
+
+const char* copy_mode_name(CopyMode mode) noexcept;
 
 struct OffloadConfig {
   CopyMode mode = CopyMode::kSgDma;
@@ -52,6 +72,13 @@ class OffloadDriver {
   OffloadDriver(const OffloadDriver&) = delete;
   OffloadDriver& operator=(const OffloadDriver&) = delete;
 
+  /// Attaches the memory-pressure model: copies fault user pages in through
+  /// the pager (charging swap time) and pin them for the transfer's
+  /// lifetime, with budget-aware chunked admission. nullptr detaches (the
+  /// pressure-free model: pages map on demand, no pinning). The pager must
+  /// outlive the driver or be detached first.
+  void set_pager(paging::Pager* pager) noexcept { pager_ = pager; }
+
   /// Allocates a pinned contiguous buffer from the process's frame pool
   /// (zero simulated time: done at setup).
   PinnedBuffer alloc_pinned(u64 bytes);
@@ -67,14 +94,44 @@ class OffloadDriver {
 
   const OffloadConfig& config() const noexcept { return cfg_; }
   u64 bytes_copied() const noexcept { return bytes_copied_.value(); }
+  u64 pin_stalls() const noexcept { return pin_stalls_.value(); }
+  u64 chunked_runs() const noexcept { return chunked_runs_.value(); }
+  /// Pages the driver holds pinned right now (all in-flight transfers).
+  u64 pins_held() const noexcept { return pins_held_; }
 
  private:
+  /// One scatter-gather transfer under memory pressure, processed as a
+  /// sequence of pin-quota-sized chunks.
+  struct SgXfer {
+    VirtAddr va = 0;
+    PhysAddr pinned = 0;
+    u64 bytes = 0;
+    bool to_pinned = false;
+    u64 pos = 0;        // bytes fully transferred (completed chunks)
+    u64 chunk_end = 0;  // byte bound of the chunk in flight
+    u64 pin_cursor = 0;  // next byte whose page still needs pinning
+    u64 seg_cursor = 0;  // next byte to DMA within the chunk
+    u64 chunk_pages = 0;
+    bool counted_chunked = false;
+    std::function<void()> done;
+  };
+
   /// Resolves user pages (mapping on demand, as pinning does) and runs one
   /// DMA or CPU-copy per contiguous piece.
   void run_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
                 std::function<void()> done);
   void cpu_copy(VirtAddr va, PhysAddr pinned, u64 bytes, bool to_pinned,
                 std::function<void()> done);
+
+  // --- pressure-aware scatter-gather path (pager attached) ---
+  /// Sizes x's next chunk from x->pos against `quota` (0 = unlimited).
+  void sg_size_chunk(const std::shared_ptr<SgXfer>& x, u64 quota);
+  void sg_start_chunk(const std::shared_ptr<SgXfer>& x);
+  void sg_admit(const std::shared_ptr<SgXfer>& x);
+  void sg_pin_next(const std::shared_ptr<SgXfer>& x);
+  void sg_dma_next(const std::shared_ptr<SgXfer>& x);
+  void sg_finish_chunk(const std::shared_ptr<SgXfer>& x);
+  void pump_pin_waiters();
 
   sim::Simulator& sim_;
   rt::OsModel& os_;
@@ -84,9 +141,21 @@ class OffloadDriver {
   mem::PhysicalMemory& pm_;
   OffloadConfig cfg_;
   std::string name_;
+  paging::Pager* pager_ = nullptr;
+
+  /// Pages currently pinned across all in-flight transfers; admission keeps
+  /// this at or below the pager's pin quota so victim selection never runs
+  /// out of candidate frames (the deadlock the quota exists to prevent).
+  u64 pins_held_ = 0;
+  /// Chunks waiting for earlier pin releases, admitted FIFO.
+  std::deque<std::shared_ptr<SgXfer>> pin_waiters_;
+
   Counter& copies_;
   Counter& bytes_copied_;
   Counter& pages_pinned_;
+  Counter& pin_faults_;
+  Counter& pin_stalls_;
+  Counter& chunked_runs_;
 };
 
 }  // namespace vmsls::dma

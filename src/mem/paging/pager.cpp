@@ -1,5 +1,6 @@
 #include "mem/paging/pager.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "rt/os.hpp"
@@ -76,11 +77,38 @@ bool Pager::probe_accessed(u64 vpn) {
 }
 
 void Pager::evict_resident(u64 vpn) {
+  // Pinned pages back in-flight DMA and committed bus transactions; every
+  // victim-selection path (own policy, pool sweep, reclaim) must have
+  // filtered them out. Evicting one would retarget the frame mid-transfer.
+  require(!as_.is_pinned_vpn(vpn), name_ + ": pinned page selected as eviction victim");
   process_.evict(vpn << page_bits(), 1);  // shoots down TLBs + flushes walk caches
   evictions_.add();
 }
 
-void Pager::ensure_frame_available(std::function<void()> then) {
+u64 Pager::pin_quota() const noexcept {
+  // The quota floors at 1: a transfer must be able to pin at least one
+  // page to make progress, so at degenerate budgets (1 frame per process,
+  // or a global budget at or below the member count) pins may consume the
+  // whole budget and the one-frame headroom lapses. Victim selection then
+  // finds no candidate and the fault path proceeds over budget — graceful
+  // degradation, bounded by the floor, in configurations too small to
+  // page in anyway.
+  if (pool_ != nullptr && cfg_.budget_mode == BudgetMode::kGlobal) {
+    // The machine-wide budget is shared: every member process may host an
+    // offload driver pinning against it, and the drivers admit
+    // independently, so each gets an equal slice with one frame of
+    // headroom.
+    const u64 budget = pool_->budget();
+    if (budget == 0) return 0;
+    const u64 share = budget / std::max<u64>(1, pool_->members());
+    return share > 1 ? share - 1 : 1;
+  }
+  const u64 budget = cfg_.frame_budget;
+  if (budget == 0) return 0;
+  return budget > 1 ? budget - 1 : 1;
+}
+
+void Pager::ensure_frame_available(sim::EventFn then) {
   // Clean victims evict in a plain loop; a dirty victim suspends the loop
   // until its writeback completes on the device port (the callback arrives
   // on a fresh stack from the event loop, so eviction bursts of any size
@@ -130,7 +158,7 @@ void Pager::ensure_frame_available(std::function<void()> then) {
   then();
 }
 
-void Pager::complete_fault(u64 vpn, Cycles start, std::function<void()>& ready) {
+void Pager::complete_fault(u64 vpn, Cycles start, sim::EventFn& ready) {
   auto waiters = std::move(inflight_faults_[vpn]);
   inflight_faults_.erase(vpn);
   fault_stall_.record(sim_.now() - start);
@@ -138,7 +166,7 @@ void Pager::complete_fault(u64 vpn, Cycles start, std::function<void()>& ready) 
   for (auto& w : waiters) w();
 }
 
-void Pager::handle_fault(VirtAddr va, bool is_write, std::function<void()> ready) {
+void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
   (void)is_write;
   note_activity();
   const Cycles start = sim_.now();
@@ -156,13 +184,13 @@ void Pager::handle_fault(VirtAddr va, bool is_write, std::function<void()> ready
     // mid-eviction on an async dirty writeback — or mid swap-in. Coalesce
     // before any budget work: this fault consumes no frame of its own and
     // must not issue a second device read (the double swap-in race).
-    it->second.push_back([this, ready = std::move(ready), start] {
+    it->second.push_back([this, ready = std::move(ready), start]() mutable {
       fault_stall_.record(sim_.now() - start);
       ready();
     });
     return;
   }
-  inflight_faults_.emplace(vpn, std::vector<std::function<void()>>{});
+  inflight_faults_.emplace(vpn, std::vector<sim::EventFn>{});
   // The vpn can already be pending: a prior fault's `ready` fired (erasing
   // its inflight entry) but the OS tail has not mapped the page yet. The
   // reservation is then already counted — don't count it twice.

@@ -26,7 +26,6 @@
 // disarm when the process quiesces, so the event queue still drains.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -107,7 +106,7 @@ class Pager final : public mem::ResidencyObserver {
   /// one page coalesce from the moment the first fault starts securing a
   /// frame: one frame reservation and at most one device read serve all
   /// waiters, even when the first fault suspends on an async writeback.
-  void handle_fault(VirtAddr va, bool is_write, std::function<void()> ready);
+  void handle_fault(VirtAddr va, bool is_write, sim::EventFn ready);
 
   /// Synchronous emergency reclaim (frame-allocator pressure callback):
   /// evicts up to `pages` victims functionally, without device timing.
@@ -141,6 +140,13 @@ class Pager final : public mem::ResidencyObserver {
   /// True once at least one estimator sweep has completed.
   bool has_ws_estimate() const noexcept { return ws_sweeps_.value() > 0; }
 
+  /// Pages a long-lived pinner (the DMA offload driver) may hold pinned at
+  /// once without starving the fault path: one frame below the effective
+  /// budget (the pool's machine-wide budget in kGlobal mode), so victim
+  /// selection always has at least one candidate frame left to turn over.
+  /// 0 = no budget enforced, pin freely.
+  u64 pin_quota() const noexcept;
+
   u64 evictions() const noexcept { return evictions_.value(); }
   u64 swap_ins() const noexcept { return swap_ins_.value(); }
   u64 writebacks() const noexcept { return writebacks_.value(); }
@@ -149,8 +155,8 @@ class Pager final : public mem::ResidencyObserver {
  private:
   friend class FramePool;  // attach/detach set pool_
 
-  void ensure_frame_available(std::function<void()> then);
-  void complete_fault(u64 vpn, Cycles start, std::function<void()>& ready);
+  void ensure_frame_available(sim::EventFn then);
+  void complete_fault(u64 vpn, Cycles start, sim::EventFn& ready);
   void note_activity();
   void arm_daemons();
   void ws_sweep();
@@ -174,7 +180,7 @@ class Pager final : public mem::ResidencyObserver {
   /// waiters (the kernel's wait-on-page-lock behavior). An entry exists
   /// from the moment the first fault passes the residency check until its
   /// `ready` fires.
-  std::unordered_map<u64, std::vector<std::function<void()>>> inflight_faults_;
+  std::unordered_map<u64, std::vector<sim::EventFn>> inflight_faults_;
   /// Pages a fault has reserved a frame for but not yet mapped. Counted
   /// against the budget so concurrent faults cannot double-spend one freed
   /// frame; entries clear when the page maps (on_map).

@@ -19,7 +19,7 @@ SwapDevice::SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_byte
   require(page_bytes > 0, "swap device needs a page size");
 }
 
-void SwapDevice::issue(Cycles latency, std::function<void()> done) {
+void SwapDevice::issue(Cycles latency, sim::EventFn done) {
   const Cycles transfer = latency + page_bytes_ / cfg_.bytes_per_cycle;
   const Cycles start = std::max(sim_.now(), port_free_);
   queue_wait_.record(start - sim_.now());
@@ -28,17 +28,17 @@ void SwapDevice::issue(Cycles latency, std::function<void()> done) {
   sim_.schedule_at(port_free_, std::move(done));
 }
 
-void SwapDevice::write_page(u64 vpn, std::function<void()> done) {
+void SwapDevice::write_page(u64 vpn, sim::EventFn done) {
   note_swapped(vpn);
   writes_.add();
   issue(cfg_.write_latency, std::move(done));
 }
 
-void SwapDevice::read_page(u64 vpn, std::function<void()> done) {
+void SwapDevice::read_page(u64 vpn, sim::EventFn done) {
   if (!holds(vpn))
     throw std::logic_error(name_ + ": swap-in of page not held by the device");
   reads_.add();
-  issue(cfg_.read_latency, [this, vpn, done = std::move(done)] {
+  issue(cfg_.read_latency, [this, vpn, done = std::move(done)]() mutable {
     slots_.erase(vpn);
     done();
   });

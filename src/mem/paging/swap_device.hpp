@@ -9,7 +9,6 @@
 // swap-file contents for the functional model.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <unordered_set>
 
@@ -44,13 +43,15 @@ class SwapDevice {
   bool busy() const noexcept { return port_free_ > sim_.now(); }
 
   /// Timed page write (swap-out). Allocates a slot for `vpn`; `done` fires
-  /// when the transfer completes on the device port.
-  void write_page(u64 vpn, std::function<void()> done);
+  /// when the transfer completes on the device port. Completions are
+  /// sim::EventFn — move-only, no steady-state allocation on the fault path
+  /// (the PR 2 engine contract).
+  void write_page(u64 vpn, sim::EventFn done);
 
   /// Timed page read (swap-in). Requires holds(vpn); the slot is freed when
   /// the transfer completes — a later eviction of the page re-writes it —
   /// so slot occupancy tracks pages that are out, not pages that ever were.
-  void read_page(u64 vpn, std::function<void()> done);
+  void read_page(u64 vpn, sim::EventFn done);
 
   /// Slot bookkeeping without device time: pages evicted "by fiat" during
   /// experiment setup land in swap instantly, so later faults on them pay
@@ -63,7 +64,7 @@ class SwapDevice {
  private:
   /// Serializes a transfer on the single device port; `done` fires at
   /// completion time.
-  void issue(Cycles latency, std::function<void()> done);
+  void issue(Cycles latency, sim::EventFn done);
 
   sim::Simulator& sim_;
   SwapConfig cfg_;

@@ -69,8 +69,59 @@ DseResult DesignSpaceExplorer::explore_pager_tlb(const AppSpec& app, const std::
   }
 
   score(images, result, evaluate);
+  pick_best(result);
+  return result;
+}
 
-  // Pick the best point.
+DseResult DesignSpaceExplorer::explore_offload_pager(
+    const AppSpec& app, const std::string& thread,
+    const std::vector<OffloadCandidate>& offload_candidates,
+    const std::vector<PagerCandidate>& pager_candidates, const Evaluator& evaluate) {
+  require(!offload_candidates.empty(), "DSE needs at least one offload candidate");
+  require(!pager_candidates.empty(), "DSE needs at least one pager candidate");
+  app.thread(thread);  // throws for unknown thread names
+
+  DseResult result;
+
+  // Phase 1 (serial): synthesize the offload × pager grid. A DMA point
+  // runs the kernel against physical addresses (the copy-based flow), so
+  // the target thread's addressing flips per offload candidate.
+  std::vector<SystemImage> images;
+  images.reserve(offload_candidates.size() * pager_candidates.size());
+  for (const OffloadCandidate& oc : offload_candidates) {
+    AppSpec variant = app;
+    for (auto& t : variant.threads) {
+      if (t.name != thread) continue;
+      t.addressing = oc.include_dma ? Addressing::kPhysical : Addressing::kVirtual;
+    }
+    SynthesisOptions opts = options_;
+    opts.include_dma = oc.include_dma;
+    for (const PagerCandidate& pc : pager_candidates) {
+      PlatformSpec plat = platform_;
+      plat.pager.frame_budget = pc.frame_budget;
+      plat.pager.policy = pc.policy;
+      plat.offload.mode = oc.mode;
+      SynthesisFlow flow(plat, opts);
+
+      images.push_back(flow.synthesize(variant));
+      DseCandidate cand;
+      cand.frame_budget = pc.frame_budget;
+      cand.policy = pc.policy;
+      cand.include_dma = oc.include_dma;
+      cand.copy_mode = oc.mode;
+      cand.total = images.back().report().total;
+      cand.resource_utilization = images.back().report().utilization;
+      cand.fits = images.back().report().fits_budget;
+      result.candidates.push_back(cand);
+    }
+  }
+
+  score(images, result, evaluate);
+  pick_best(result);
+  return result;
+}
+
+void DesignSpaceExplorer::pick_best(DseResult& result) {
   for (std::size_t i = 0; i < result.candidates.size(); ++i) {
     const auto& c = result.candidates[i];
     if (!c.fits) continue;
@@ -82,7 +133,6 @@ DseResult DesignSpaceExplorer::explore_pager_tlb(const AppSpec& app, const std::
     const bool better = c.measured ? (c.cycles < b.cycles) : (c.tlb_entries > b.tlb_entries);
     if (better) result.best = static_cast<int>(i);
   }
-  return result;
 }
 
 // Phase 2 (parallel): score the fitting candidates. Every candidate

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "dma/offload.hpp"
 #include "mem/paging/replacement.hpp"
 #include "sls/synthesis.hpp"
 
@@ -25,12 +26,24 @@ struct PagerCandidate {
   paging::PolicyKind policy = paging::PolicyKind::kClock;
 };
 
+/// One offload operating point for the offload-mode × pager grid: the SVM
+/// flow (include_dma = false, virtual addressing) or the copy-based
+/// baseline in one of its copy modes (physical addressing, DMA engine +
+/// offload driver elaborated).
+struct OffloadCandidate {
+  bool include_dma = false;
+  dma::CopyMode mode = dma::CopyMode::kSgDma;
+};
+
 struct DseCandidate {
   unsigned tlb_entries = 0;
   /// Pager operating point this candidate was synthesized with (the
   /// platform default for plain TLB sweeps).
   u64 frame_budget = 0;
   paging::PolicyKind policy = paging::PolicyKind::kClock;
+  /// Offload operating point (explore_offload_pager axis; SVM otherwise).
+  bool include_dma = false;
+  dma::CopyMode copy_mode = dma::CopyMode::kSgDma;
   Resources total{};
   double resource_utilization = 0.0;
   bool fits = false;
@@ -82,8 +95,21 @@ class DesignSpaceExplorer {
                               const std::vector<PagerCandidate>& pager_candidates,
                               const Evaluator& evaluate = nullptr);
 
+  /// Grid sweep: offload modes × pager operating points — the paper's
+  /// SVM-vs-DMA axis crossed with the memory-pressure axis. DMA candidates
+  /// synthesize `thread` physically addressed with the engine + driver
+  /// included (the evaluator drives the copy-in/compute/copy-out flow and
+  /// can read the operating point off the image); SVM candidates stay
+  /// virtually addressed. Candidate order is offload-major; scoring fans
+  /// out over the same thread pool, bit-identical to the serial sweep.
+  DseResult explore_offload_pager(const AppSpec& app, const std::string& thread,
+                                  const std::vector<OffloadCandidate>& offload_candidates,
+                                  const std::vector<PagerCandidate>& pager_candidates,
+                                  const Evaluator& evaluate = nullptr);
+
  private:
   void score(std::vector<SystemImage>& images, DseResult& result, const Evaluator& evaluate);
+  static void pick_best(DseResult& result);
 
   PlatformSpec platform_;
   SynthesisOptions options_;

@@ -9,6 +9,8 @@
 #include <string>
 
 #include "cpu/cpu.hpp"
+#include "dma/dma_engine.hpp"
+#include "dma/offload.hpp"
 #include "hwt/engine.hpp"
 #include "hwt/hw_port.hpp"
 #include "mem/bus.hpp"
@@ -40,6 +42,11 @@ struct PlatformSpec {
   /// Memory-pressure model: frame budget, replacement policy, swap-device
   /// timing. frame_budget == 0 (the default) disables the pager entirely.
   paging::PagerConfig pager{};
+  /// Copy-based offload baseline (elaborated when SynthesisOptions
+  /// include_dma is set): DMA engine burst geometry and the driver's copy
+  /// mode/costs. `offload.mode` is the DSE's offload-mode axis.
+  dma::DmaConfig dma{};
+  dma::OffloadConfig offload{};
 
   Addr ctrl_base = 0x4000'0000;  // control-register window (metadata only)
   u64 ctrl_stride = 0x1000;

@@ -79,6 +79,22 @@ void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,
      << " rebalances=" << at("rebalances") << "\n";
 }
 
+void write_offload_summary(std::ostream& os, const StatRegistry& stats,
+                           const std::string& offload_name) {
+  const auto off = stats.snapshot_prefix(offload_name + ".");
+  if (off.empty()) {
+    os << "offload: inactive (system synthesized without the DMA baseline)\n";
+    return;
+  }
+  const auto at = [&off, &offload_name](const std::string& key) {
+    auto it = off.find(offload_name + "." + key);
+    return it == off.end() ? 0.0 : it->second;
+  };
+  os << "offload: copies=" << at("copies") << " bytes=" << at("bytes")
+     << " pages_pinned=" << at("pages_pinned") << " pin_faults=" << at("pin_faults")
+     << " pin_stalls=" << at("pin_stalls") << " chunked_runs=" << at("chunked_runs") << "\n";
+}
+
 namespace {
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream f(path);

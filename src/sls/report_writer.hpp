@@ -38,6 +38,14 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
 void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,
                               const std::string& pool_name = "pool");
 
+/// One-line summary of the copy-based offload driver after a run: copies,
+/// bytes moved, pages pinned, pages faulted in during pinning, and the
+/// memory-pressure admission counters (pin_stalls = chunks queued behind
+/// pin releases, chunked_runs = transfers split to fit the pin quota).
+/// Quiet (prints a note) when the registry holds no offload counters.
+void write_offload_summary(std::ostream& os, const StatRegistry& stats,
+                           const std::string& offload_name = "offload");
+
 /// Convenience file writers; throw std::runtime_error on I/O failure.
 void save_report_markdown(const std::string& path, const SynthesisReport& report,
                           const std::string& title);

@@ -68,12 +68,6 @@ void System::build(const SharedSubstrate* shared) {
 
   // --- pager daemon (memory-pressure model) ---
   if (plat.pager.frame_budget > 0 || pool_ != nullptr) {
-    // The offload driver snapshots physical addresses for in-flight DMA;
-    // without page pinning the pager could evict underneath it. Refuse the
-    // combination loudly until pin support lands (see ROADMAP).
-    require(!image_.options().include_dma,
-            "pager frame budget and the DMA offload baseline cannot be combined yet "
-            "(no page pinning)");
     pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager");
     pager_->set_os(os_, plat.os.daemon_service);
     if (pool_ != nullptr) pool_->attach(*pager_);
@@ -91,9 +85,13 @@ void System::build(const SharedSubstrate* shared) {
 
   // --- baseline DMA components ---
   if (image_.options().include_dma) {
-    dma_ = std::make_unique<dma::DmaEngine>(sim_, *bus_, *pm_, dma::DmaConfig{}, inst_ + "dma");
+    dma_ = std::make_unique<dma::DmaEngine>(sim_, *bus_, *pm_, plat.dma, inst_ + "dma");
     offload_ = std::make_unique<dma::OffloadDriver>(sim_, *os_, *process_, *dma_, *bus_, *pm_,
-                                                    dma::OffloadConfig{}, inst_ + "offload");
+                                                    plat.offload, inst_ + "offload");
+    // Under memory pressure the driver fault-pins its scatter-gather runs
+    // through the pager with budget-aware chunked admission — the wiring
+    // that lets the SVM-vs-DMA comparison run in the paging regime.
+    offload_->set_pager(pager_.get());
   }
 
   // --- threads ---

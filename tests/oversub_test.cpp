@@ -14,6 +14,7 @@
 #include "rt/process.hpp"
 #include "sls/dse.hpp"
 #include "sls/process_group.hpp"
+#include "test_util.hpp"
 #include "workloads/workloads.hpp"
 
 namespace vmsls::paging {
@@ -43,10 +44,7 @@ struct PoolFixture : ::testing::Test {
     pool->attach(*pg1);
   }
 
-  void run_all() {
-    while (sim.step()) {
-    }
-  }
+  void run_all() { test::run_until_drained(sim); }
 
   /// Maps `count` data pages into `as` by writing distinct words.
   static void map_pages(mem::AddressSpace& as, unsigned count) {
@@ -154,8 +152,7 @@ std::pair<Cycles, std::map<std::string, double>> run_budget_scenario(BudgetMode 
     });
   };
   step();
-  while (sim.step()) {
-  }
+  test::run_until_drained(sim);
   return {sim.now(), sim.stats().snapshot_prefix("pager.")};
 }
 

@@ -1,0 +1,151 @@
+// Seeded randomized stress/property test for the paging subsystem under
+// DMA offload traffic: faults, scatter-gather and CPU-copy offloads, and
+// pageout-daemon ticks interleave freely over ~20 seeds. After every run
+// the queue must drain, every pin must be released, the swap-device and
+// residency ledgers must balance, and the same seed must reproduce the
+// run bit-identically (cycles, events, every counter and histogram
+// moment) — the determinism contract the whole experiment harness rests
+// on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dma/dma_engine.hpp"
+#include "dma/offload.hpp"
+#include "mem/paging/pager.hpp"
+#include "rt/os.hpp"
+#include "rt/process.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace vmsls::paging {
+namespace {
+
+constexpr u64 kRegionPages = 24;
+constexpr u64 kPinnedPages = 6;
+constexpr unsigned kOps = 80;
+
+struct StressSnapshot {
+  Cycles cycles = 0;
+  u64 events = 0;
+  std::map<std::string, double> stats;
+
+  bool operator==(const StressSnapshot& o) const {
+    return cycles == o.cycles && events == o.events && stats == o.stats;
+  }
+};
+
+/// One full chaos run: a cold 24-page region under a 6-frame budget with
+/// the working-set estimator and pageout daemon armed, driven by a seeded
+/// op mix. Ops fire concurrently (the next op is scheduled at issue time,
+/// not completion), so faults, chunked offload admissions, and daemon
+/// ticks genuinely overlap.
+StressSnapshot run_chaos(u64 seed) {
+  test::MemorySystem ms;
+  rt::OsModel os{ms.sim, rt::OsConfig{}, "os"};
+  rt::Process process{ms.sim, ms.as, "p"};
+  dma::DmaEngine dma{ms.sim, ms.bus, ms.pm, dma::DmaConfig{}, "dma"};
+
+  PagerConfig pc;
+  pc.frame_budget = 6;
+  pc.policy = PolicyKind::kClock;
+  pc.ws_interval = 900;
+  pc.pageout_interval = 400;
+  pc.pageout_watermark_pct = 50;
+  Pager pager(ms.sim, process, pc, "pager");
+  pager.set_os(&os, rt::OsConfig{}.daemon_service);
+
+  dma::OffloadConfig oc;
+  dma::OffloadDriver driver(ms.sim, os, process, dma, ms.bus, ms.pm, oc, "offload");
+  driver.set_pager(&pager);
+
+  // Region with known contents, then fully cold: every later touch goes
+  // through the timed fault path and the swap device.
+  const VirtAddr base = ms.as.alloc(kRegionPages * 4096, 4096);
+  for (u64 p = 0; p < kRegionPages; ++p) ms.as.write_u64(base + p * 4096, 0xBEEF0000 + p);
+  process.evict(base, kRegionPages * 4096);
+  const auto pinned = driver.alloc_pinned(kPinnedPages * 4096);
+  const u64 maps_at_start = ms.as.faults_serviced();
+
+  Rng rng(seed);
+  auto issued = std::make_shared<u64>(0);
+  auto completed = std::make_shared<u64>(0);
+
+  std::function<void(unsigned)> next_op = [&](unsigned remaining) {
+    if (remaining == 0) return;
+    const u64 kind = rng.below(100);
+    if (kind < 55) {
+      // Demand fault on a random page, sometimes dirtying it — a hardware
+      // thread's access pattern.
+      const VirtAddr va = base + rng.below(kRegionPages) * 4096;
+      const bool write = rng.chance(0.5);
+      ++*issued;
+      pager.handle_fault(va, write, [&ms, va, write, completed] {
+        if (!ms.as.is_mapped(va)) ms.as.map_page(va, /*writable=*/true);
+        if (write) ms.as.page_table().set_accessed_dirty(va, /*dirty=*/true);
+        ++*completed;
+      });
+    } else if (kind < 95) {
+      // Offload transfer over a random page run — lengths up to the whole
+      // pinned buffer, so runs regularly exceed the pin quota (5) and
+      // exercise chunking and the admission queue.
+      const u64 len = 1 + rng.below(kPinnedPages);
+      const u64 first = rng.below(kRegionPages - len + 1);
+      ++*issued;
+      if (kind < 75)
+        driver.copy_in(base + first * 4096, pinned, 0, len * 4096, [completed] { ++*completed; });
+      else
+        driver.copy_out(pinned, 0, base + first * 4096, len * 4096, [completed] { ++*completed; });
+    }  // else: an idle gap — daemon ticks and in-flight work drain alone
+    const Cycles gap = rng.range(50, 1800);
+    ms.sim.schedule_in(gap, [&next_op, remaining] { next_op(remaining - 1); });
+  };
+  next_op(kOps);
+
+  StressSnapshot s;
+  s.events = test::run_until_drained(ms.sim, /*max_cycles=*/500'000'000ull);
+
+  // --- post-drain invariants ---
+  EXPECT_EQ(*completed, *issued) << "seed " << seed;
+  EXPECT_EQ(ms.as.pinned_pages(), 0u) << "seed " << seed;
+  EXPECT_EQ(driver.pins_held(), 0u) << "seed " << seed;
+  // Swap ledger: every pager swap-in is exactly one device read, and every
+  // device write is either a fault-path writeback or a daemon pageout.
+  EXPECT_EQ(pager.swap().reads(), pager.swap_ins()) << "seed " << seed;
+  EXPECT_EQ(pager.swap().writes(), pager.writebacks() + pager.pageouts()) << "seed " << seed;
+  // Residency ledger: pages mapped since the cold start minus evictions is
+  // exactly what remains resident (nothing leaks, nothing double-frees).
+  EXPECT_EQ(ms.as.resident_pages(), ms.as.faults_serviced() - maps_at_start - pager.evictions())
+      << "seed " << seed;
+  // The stress mix must actually exercise the pressure machinery.
+  EXPECT_GT(pager.evictions(), 0u) << "seed " << seed;
+  EXPECT_GT(pager.swap_ins(), 0u) << "seed " << seed;
+
+  s.cycles = ms.sim.now();
+  s.stats = ms.sim.stats().snapshot();
+  return s;
+}
+
+TEST(PagingStress, InvariantsHoldAndRunsAreBitIdenticalAcrossSeeds) {
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    const auto a = run_chaos(seed);
+    const auto b = run_chaos(seed);
+    EXPECT_EQ(a.cycles, b.cycles) << "seed " << seed;
+    EXPECT_EQ(a.events, b.events) << "seed " << seed;
+    EXPECT_EQ(a.stats, b.stats) << "seed " << seed;  // every counter + histogram moment
+  }
+}
+
+TEST(PagingStress, DistinctSeedsProduceDistinctSchedules) {
+  // A sanity check that the seed actually steers the interleaving — if two
+  // different seeds ever collide on cycles *and* events *and* the full
+  // stat snapshot, the generator is almost certainly not being consumed.
+  const auto a = run_chaos(101);
+  const auto b = run_chaos(202);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace vmsls::paging

@@ -1,6 +1,7 @@
-// Paging subsystem: swap-device timing, replacement-policy victim order,
-// pager budget enforcement, and the eviction correctness backbone (TLB
-// shootdown + walk-cache flush + backing-store round trip).
+// Paging subsystem: replacement-policy victim order, pager budget
+// enforcement, and the eviction correctness backbone (TLB shootdown +
+// walk-cache flush + backing-store round trip). SwapDevice units live in
+// swap_device_test.cpp.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -18,53 +19,6 @@ namespace vmsls::paging {
 namespace {
 
 using test::MemorySystem;
-
-// --- swap device ---
-
-TEST(SwapDevice, TransfersPayLatencyPlusBandwidth) {
-  sim::Simulator sim;
-  SwapConfig cfg;
-  cfg.write_latency = 100;
-  cfg.read_latency = 50;
-  cfg.bytes_per_cycle = 8;
-  SwapDevice dev(sim, cfg, 4096, "swap");
-
-  Cycles write_done = 0, read_done = 0;
-  dev.write_page(7, [&] { write_done = sim.now(); });
-  sim.run();
-  EXPECT_EQ(write_done, 100u + 4096 / 8);
-  EXPECT_TRUE(dev.holds(7));
-
-  const Cycles t0 = sim.now();
-  dev.read_page(7, [&] { read_done = sim.now(); });
-  sim.run();
-  EXPECT_EQ(read_done - t0, 50u + 4096 / 8);
-}
-
-TEST(SwapDevice, OperationsSerializeOnThePort) {
-  sim::Simulator sim;
-  SwapConfig cfg;
-  cfg.write_latency = 100;
-  cfg.bytes_per_cycle = 8;
-  SwapDevice dev(sim, cfg, 4096, "swap");
-  const Cycles per_op = 100 + 4096 / 8;
-
-  Cycles first = 0, second = 0;
-  dev.write_page(1, [&] { first = sim.now(); });
-  dev.write_page(2, [&] { second = sim.now(); });
-  sim.run();
-  EXPECT_EQ(first, per_op);
-  EXPECT_EQ(second, 2 * per_op);
-  EXPECT_EQ(dev.slots_in_use(), 2u);
-}
-
-TEST(SwapDevice, ReadOfUnheldPageIsAnError) {
-  sim::Simulator sim;
-  SwapDevice dev(sim, SwapConfig{}, 4096, "swap");
-  EXPECT_THROW(dev.read_page(3, [] {}), std::logic_error);
-  dev.note_swapped(3);
-  EXPECT_NO_THROW(dev.read_page(3, [] {}));
-}
 
 // --- replacement policies ---
 
