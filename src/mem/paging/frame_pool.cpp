@@ -42,6 +42,14 @@ FramePool::FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::strin
     Pager* p = member < members_.size() ? members_[member] : nullptr;
     return p != nullptr && p->space().is_pinned_vpn(vpn);
   });
+  // Wrong-path readahead landings are reclaimed first machine-wide too:
+  // the global sweep resolves the speculative flag through the owner.
+  policy_->set_speculative_probe([this](u64 key) {
+    const auto member = key >> kMemberShift;
+    const u64 vpn = key & ((1ull << kMemberShift) - 1);
+    Pager* p = member < members_.size() ? members_[member] : nullptr;
+    return p != nullptr && p->is_speculative(vpn);
+  });
 }
 
 u64 FramePool::pack(u64 member, u64 vpn) const {

@@ -9,13 +9,13 @@
 
 namespace vmsls::paging {
 
-Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name)
+Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name,
+             SwapScheduler* shared_swap)
     : sim_(sim),
       process_(process),
       as_(process.address_space()),
       cfg_(cfg),
       name_(std::move(name)),
-      swap_(sim, cfg.swap, as_.page_bytes(), name_ + ".swap"),
       policy_(make_policy(
           cfg.policy, [this](u64 vpn) { return probe_accessed(vpn); }, cfg.policy_seed)),
       evictions_(sim.stats().counter(name_ + ".evictions")),
@@ -24,9 +24,25 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
       reclaims_(sim.stats().counter(name_ + ".reclaims")),
       pageouts_(sim.stats().counter(name_ + ".pageouts")),
       ws_sweeps_(sim.stats().counter(name_ + ".ws_sweeps")),
+      prefetches_(sim.stats().counter(name_ + ".prefetches")),
+      prefetch_useful_(sim.stats().counter(name_ + ".prefetch_useful")),
+      prefetch_wasted_(sim.stats().counter(name_ + ".prefetch_wasted")),
+      prefetch_late_(sim.stats().counter(name_ + ".prefetch_late")),
       fault_stall_(sim.stats().histogram(name_ + ".fault_stall")),
       ws_hist_(sim.stats().histogram(name_ + ".ws_pages")) {
+  if (shared_swap != nullptr) {
+    require(shared_swap->config().read_latency == cfg_.swap.read_latency &&
+                shared_swap->config().write_latency == cfg_.swap.write_latency,
+            name_ + ": shared swap device timing disagrees with this pager's swap config");
+    sched_ = shared_swap;
+  } else {
+    owned_swap_ = std::make_unique<SwapScheduler>(sim, cfg_.swap, as_.page_bytes(),
+                                                  name_ + ".swap");
+    sched_ = owned_swap_.get();
+  }
+  swap_owner_ = sched_->register_owner(name_);
   policy_->set_pinned_probe([this](u64 vpn) { return as_.is_pinned_vpn(vpn); });
+  policy_->set_speculative_probe([this](u64 vpn) { return is_speculative(vpn); });
   as_.set_residency_observer(this);
   as_.set_reclaim_hook([this](u64 pages) { return reclaim(pages); });
   // Pages already resident when the pager attaches (pinned buffers mapped at
@@ -55,7 +71,11 @@ void Pager::on_unmap(u64 vpn, bool dirty) {
                 // dirty pages is charged on the pager's own eviction path
   policy_->on_remove(vpn);
   ws_last_ref_.erase(vpn);
-  swap_.note_swapped(vpn);
+  // An external unmap (experiment-setup eviction) of a speculative page is
+  // wasted work; the pager's own evictions settle the flag beforehand with
+  // the accessed bit still readable.
+  if (speculative_.erase(vpn) > 0) prefetch_wasted_.add();
+  sched_->note_swapped(swap_owner_, vpn);
   if (pool_) pool_->note_unmap(*this, vpn);
   note_activity();
 }
@@ -73,7 +93,22 @@ bool Pager::probe_accessed(u64 vpn) {
   // undercounts exactly when eviction sweeps run hottest.)
   if (!as_.page_table().test_and_clear_accessed(vpn << page_bits())) return false;
   ws_last_ref_[vpn] = sim_.now();
+  // A referenced readahead landing graduates to a real resident page: the
+  // prediction was right.
+  if (speculative_.erase(vpn) > 0) prefetch_useful_.add();
   return true;
+}
+
+void Pager::settle_speculative(u64 vpn) {
+  auto it = speculative_.find(vpn);
+  if (it == speculative_.end()) return;
+  speculative_.erase(it);
+  // The accessed bit is the page's last word: set means the prefetch was
+  // used (just never swept), clear means it truly was wrong-path.
+  if (as_.page_table().test_and_clear_accessed(vpn << page_bits()))
+    prefetch_useful_.add();
+  else
+    prefetch_wasted_.add();
 }
 
 void Pager::evict_resident(u64 vpn) {
@@ -81,6 +116,7 @@ void Pager::evict_resident(u64 vpn) {
   // victim-selection path (own policy, pool sweep, reclaim) must have
   // filtered them out. Evicting one would retarget the frame mid-transfer.
   require(!as_.is_pinned_vpn(vpn), name_ + ": pinned page selected as eviction victim");
+  settle_speculative(vpn);
   process_.evict(vpn << page_bits(), 1);  // shoots down TLBs + flushes walk caches
   evictions_.add();
 }
@@ -119,7 +155,7 @@ void Pager::ensure_frame_available(sim::EventFn then) {
     // Machine-wide budget: the pool's global sweep nominates victims, which
     // may belong to another process. The victim's owner performs the
     // eviction (its shootdown invariants) and absorbs the writeback on its
-    // own swap device; this pager's fault merely waits for the frame.
+    // own swap front end; this pager's fault merely waits for the frame.
     while (pool_->over_budget()) {
       const auto victim = pool_->pick_victim();
       if (!victim) break;
@@ -131,9 +167,10 @@ void Pager::ensure_frame_available(sim::EventFn then) {
       owner.evict_resident(victim->vpn);
       if (dirty) {
         owner.writebacks_.add();
-        owner.swap_.write_page(victim->vpn, [this, then = std::move(then)]() mutable {
-          ensure_frame_available(std::move(then));
-        });
+        owner.sched_->write(owner.swap_owner_, victim->vpn, SwapReqClass::kDemandWrite,
+                            [this, then = std::move(then)]() mutable {
+                              ensure_frame_available(std::move(then));
+                            });
         return;
       }
     }
@@ -149,9 +186,10 @@ void Pager::ensure_frame_available(sim::EventFn then) {
     evict_resident(*victim);
     if (dirty) {
       writebacks_.add();
-      swap_.write_page(*victim, [this, then = std::move(then)]() mutable {
-        ensure_frame_available(std::move(then));
-      });
+      sched_->write(swap_owner_, *victim, SwapReqClass::kDemandWrite,
+                    [this, then = std::move(then)]() mutable {
+                      ensure_frame_available(std::move(then));
+                    });
       return;
     }
   }
@@ -181,9 +219,18 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
   ++faults_since_sweep_;
   if (auto it = inflight_faults_.find(vpn); it != inflight_faults_.end()) {
     // A fault on this page is already securing a frame — possibly suspended
-    // mid-eviction on an async dirty writeback — or mid swap-in. Coalesce
-    // before any budget work: this fault consumes no frame of its own and
-    // must not issue a second device read (the double swap-in race).
+    // mid-eviction on an async dirty writeback — or mid swap-in; or a
+    // prefetch read for the page is in flight. Coalesce before any budget
+    // work: this fault consumes no frame of its own and must not issue a
+    // second device read (the double swap-in race).
+    if (inflight_prefetch_.count(vpn) != 0) {
+      // Late exactly once per prefetched page, however many faults pile
+      // onto it — the accuracy ratio divides by prefetches issued.
+      if (it->second.empty()) prefetch_late_.add();
+      // If the prefetch read is still queued, it now blocks a real thread:
+      // upgrade it to demand class so priority dispatch stops bypassing it.
+      sched_->promote(swap_owner_, vpn);
+    }
     it->second.push_back([this, ready = std::move(ready), start]() mutable {
       fault_stall_.record(sim_.now() - start);
       ready();
@@ -198,15 +245,84 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
   ensure_frame_available([this, va, vpn, ready = std::move(ready), start]() mutable {
     // A concurrent fault may have brought the page in already — don't pay
     // (or serialize on) a second device read for a resident page.
-    if (!as_.is_mapped(va) && swap_.holds(vpn)) {
+    if (!as_.is_mapped(va) && sched_->holds(swap_owner_, vpn)) {
       swap_ins_.add();
-      swap_.read_page(vpn, [this, vpn, ready = std::move(ready), start]() mutable {
-        complete_fault(vpn, start, ready);
+      // The demand read and its readahead enqueue atomically, so they
+      // dispatch as one clustered device operation (one access latency for
+      // the whole neighborhood) whenever the port is free — and otherwise
+      // merge at dispatch time with any queued same-cluster reads.
+      sched_->batched([this, vpn, &ready, start] {
+        sched_->read(swap_owner_, vpn, SwapReqClass::kDemandRead,
+                     [this, vpn, ready = std::move(ready), start]() mutable {
+                       complete_fault(vpn, start, ready);
+                     });
+        issue_readahead(vpn);
       });
     } else {
       complete_fault(vpn, start, ready);
     }
   });
+}
+
+// --- swap-in readahead ----------------------------------------------------
+
+bool Pager::prefetch_headroom() const {
+  // Prefetch never evicts *synchronously*: it rides free headroom, plus a
+  // bounded overshoot of at most the readahead depth (the swap-cache
+  // model). The next demand fault trims the overshoot through the normal
+  // eviction loop, and the SpeculativeProbe makes unreferenced landings the
+  // first victims — so a wrong-path prefetch costs one slot-turn, never a
+  // working-set page.
+  const u64 slack = cfg_.swap.readahead;
+  if (pool_ != nullptr && cfg_.budget_mode == BudgetMode::kGlobal) {
+    const u64 budget = pool_->budget();
+    return budget == 0 || pool_->resident_pages() + pool_->pending_pages() < budget + slack;
+  }
+  return cfg_.frame_budget == 0 ||
+         as_.resident_pages() + pending_maps_.size() < cfg_.frame_budget + slack;
+}
+
+void Pager::issue_readahead(u64 demand_vpn) {
+  if (cfg_.swap.readahead == 0) return;
+  for (const u64 vpn : sched_->neighbors(swap_owner_, demand_vpn, cfg_.swap.readahead)) {
+    if (as_.is_mapped(vpn << page_bits())) continue;
+    if (inflight_faults_.count(vpn) != 0) continue;
+    if (!prefetch_headroom()) break;  // deeper neighbors are no cheaper
+    start_prefetch(vpn);
+  }
+}
+
+void Pager::start_prefetch(u64 vpn) {
+  // A prefetch is a synthetic fault: it reserves its frame through
+  // pending_maps_ (so concurrent demand faults cannot double-spend it) and
+  // registers in inflight_faults_ (so a demand fault on the page coalesces
+  // onto this read instead of issuing a second one).
+  inflight_faults_.emplace(vpn, std::vector<sim::EventFn>{});
+  inflight_prefetch_.insert(vpn);
+  if (pending_maps_.insert(vpn).second && pool_) pool_->note_pending(+1);
+  prefetches_.add();
+  log_debug(name_, "prefetch vpn=0x", std::hex, vpn);
+  sched_->read(swap_owner_, vpn, SwapReqClass::kPrefetchRead,
+               [this, vpn] { finish_prefetch(vpn); });
+}
+
+void Pager::finish_prefetch(u64 vpn) {
+  inflight_prefetch_.erase(vpn);
+  auto waiters = std::move(inflight_faults_[vpn]);
+  inflight_faults_.erase(vpn);
+  // Land resident-clean: map_page installs the PTE with accessed and dirty
+  // both clear and fills the frame from the backing store — on_map clears
+  // the pending reservation and enters the page into policy tracking.
+  if (!as_.is_mapped(vpn << page_bits())) process_.map_in(vpn << page_bits());
+  if (waiters.empty()) {
+    // Unclaimed so far: speculative until the first observed reference, and
+    // first in line for reclaim should the prediction miss.
+    speculative_.insert(vpn);
+  } else {
+    // A demand fault arrived mid-read (counted prefetch_late at coalesce
+    // time): the page is demanded, not speculative.
+    for (auto& w : waiters) w();
+  }
 }
 
 u64 Pager::reclaim(u64 pages) {
@@ -285,18 +401,19 @@ void Pager::pageout_tick() {
     u64 cleaned = 0;
     bool port_blocked = false;
     if (over_pageout_watermark()) {
-      // Yield to demand traffic: if the device port is mid-transfer when
-      // the tick fires, defer the whole batch to a later tick. Once the
-      // port is free, submit up to pageout_batch writes — they queue on
-      // the port like any batched background I/O.
-      if (swap_.busy()) {
+      // Yield to demand traffic: if the device is mid-transfer (or requests
+      // wait in the shared queue) when the tick fires, defer the whole
+      // batch to a later tick. Once the front end idles, submit up to
+      // pageout_batch writeback-class requests — the scheduler keeps any
+      // later demand reads ahead of them in priority mode.
+      if (sched_->busy()) {
         port_blocked = true;
       } else {
         as_.for_each_resident([this, &cleaned](u64 vpn) {
           if (cleaned >= cfg_.pageout_batch) return;
           if (as_.is_pinned_vpn(vpn)) return;  // in-flight access may re-dirty it
           if (as_.page_table().test_and_clear_dirty(vpn << page_bits())) {
-            swap_.write_page(vpn, [] {});
+            sched_->write(swap_owner_, vpn, SwapReqClass::kWriteback, [] {});
             pageouts_.add();
             ++cleaned;
           }

@@ -9,6 +9,22 @@
 // time for dirty writebacks and swap-ins. With frame_budget == 0 the pager
 // is inert and the fault path degenerates to the pre-pressure model.
 //
+// Swap traffic goes through a SwapScheduler front end — owned privately,
+// or shared with the other pagers of a ProcessGroup ("one flash part, N
+// pagers") when SwapConfig::shared is set. Requests carry this pager's
+// owner id and a class (demand read >> prefetch read >> writeback) and
+// wait in the scheduler's queue. On each demand swap-in the pager may also
+// run readahead: the scheduler's clustering slot allocator keeps the
+// process's evicted neighbors in adjacent slots, and up to
+// SwapConfig::readahead of them are pulled as prefetch-class reads —
+// admitted only under free budget headroom (prefetch never evicts), landing
+// resident-clean, and flagged *speculative* until first reference so every
+// replacement policy reclaims wrong-path prefetches first (the
+// SpeculativeProbe). Accuracy/coverage counters: `prefetches`,
+// `prefetch_useful` (referenced before eviction), `prefetch_wasted`
+// (evicted unreferenced), `prefetch_late` (a demand fault coalesced onto
+// the in-flight prefetch).
+//
 // Under multi-process over-subscription the pager attaches to a shared
 // FramePool: in kGlobal budget mode the fault path asks the pool for
 // victims (which may belong to another process), and two optional
@@ -35,7 +51,7 @@
 #include "mem/address_space.hpp"
 #include "mem/paging/frame_pool.hpp"
 #include "mem/paging/replacement.hpp"
-#include "mem/paging/swap_device.hpp"
+#include "mem/paging/swap_scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace vmsls::rt {
@@ -50,6 +66,8 @@ struct PagerConfig {
   /// tracks residency but never evicts on the fault path).
   u64 frame_budget = 0;
   PolicyKind policy = PolicyKind::kClock;
+  /// Swap timing plus the shared-device / scheduling / readahead knobs
+  /// (see SwapConfig) — `swap.shared` selects the group-wide device.
   SwapConfig swap{};
   u64 policy_seed = 1;  // feeds the RANDOM policy only
 
@@ -74,7 +92,12 @@ struct PagerConfig {
 
 class Pager final : public mem::ResidencyObserver {
  public:
-  Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name);
+  /// `shared_swap` non-null shares that scheduler (the ProcessGroup's "one
+  /// flash part"); null gives the pager a private SwapScheduler named
+  /// "<name>.swap" — the same front end either way, so a single-member
+  /// shared device is cycle-identical to a private one.
+  Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name,
+        SwapScheduler* shared_swap = nullptr);
   ~Pager() override;
 
   Pager(const Pager&) = delete;
@@ -82,10 +105,27 @@ class Pager final : public mem::ResidencyObserver {
 
   const PagerConfig& config() const noexcept { return cfg_; }
   const std::string& name() const noexcept { return name_; }
-  SwapDevice& swap() noexcept { return swap_; }
   ReplacementPolicy& policy() noexcept { return *policy_; }
   rt::Process& process() noexcept { return process_; }
   mem::AddressSpace& space() noexcept { return as_; }
+
+  /// This pager's per-owner window onto the swap front end (device traffic
+  /// attributable to this process).
+  class SwapView {
+   public:
+    SwapView(SwapScheduler& sched, unsigned owner) noexcept : sched_(&sched), owner_(owner) {}
+    u64 reads() const { return sched_->owner_reads(owner_); }
+    u64 writes() const { return sched_->owner_writes(owner_); }
+    bool holds(u64 vpn) const { return sched_->holds(owner_, vpn); }
+    bool busy() const noexcept { return sched_->busy(); }
+
+   private:
+    SwapScheduler* sched_;
+    unsigned owner_;
+  };
+  SwapView swap() const noexcept { return SwapView(*sched_, swap_owner_); }
+  SwapScheduler& swap_scheduler() noexcept { return *sched_; }
+  unsigned swap_owner() const noexcept { return swap_owner_; }
 
   /// Background services (pageout daemon ticks) charge their CPU time on
   /// the OS service cores when a model is attached; nullptr = free ticks.
@@ -106,6 +146,8 @@ class Pager final : public mem::ResidencyObserver {
   /// one page coalesce from the moment the first fault starts securing a
   /// frame: one frame reservation and at most one device read serve all
   /// waiters, even when the first fault suspends on an async writeback.
+  /// A demand fault landing on an in-flight *prefetch* coalesces the same
+  /// way (and counts toward `prefetch_late`).
   void handle_fault(VirtAddr va, bool is_write, sim::EventFn ready);
 
   /// Synchronous emergency reclaim (frame-allocator pressure callback):
@@ -120,11 +162,16 @@ class Pager final : public mem::ResidencyObserver {
   u64 pending_pages() const noexcept { return static_cast<u64>(pending_maps_.size()); }
   bool page_dirty(u64 vpn) const;
   /// Test-and-clear of the accessed bit (pool global sweep + own policy);
-  /// observed references feed the working-set clock.
+  /// observed references feed the working-set clock and retire the page's
+  /// speculative-prefetch flag.
   bool probe_accessed(u64 vpn);
   /// Evicts one resident page through the process (TLB shootdown + walk
   /// cache flush) and counts it; the caller charges any writeback time.
   void evict_resident(u64 vpn);
+
+  /// True while the page is an unreferenced readahead landing — the
+  /// replacement policies' reclaim-first probe.
+  bool is_speculative(u64 vpn) const { return speculative_.count(vpn) != 0; }
 
   /// Latest working-set estimate (pages referenced within the window);
   /// 0 until the first sweep completes.
@@ -151,12 +198,25 @@ class Pager final : public mem::ResidencyObserver {
   u64 swap_ins() const noexcept { return swap_ins_.value(); }
   u64 writebacks() const noexcept { return writebacks_.value(); }
   u64 pageouts() const noexcept { return pageouts_.value(); }
+  u64 prefetches() const noexcept { return prefetches_.value(); }
+  u64 prefetch_useful() const noexcept { return prefetch_useful_.value(); }
+  u64 prefetch_wasted() const noexcept { return prefetch_wasted_.value(); }
+  u64 prefetch_late() const noexcept { return prefetch_late_.value(); }
 
  private:
   friend class FramePool;  // attach/detach set pool_
 
   void ensure_frame_available(sim::EventFn then);
   void complete_fault(u64 vpn, Cycles start, sim::EventFn& ready);
+  /// Issues prefetch-class reads for the demand swap-in's slot neighbors
+  /// that fit under free budget headroom.
+  void issue_readahead(u64 demand_vpn);
+  void start_prefetch(u64 vpn);
+  void finish_prefetch(u64 vpn);
+  bool prefetch_headroom() const;
+  /// Retires the speculative flag at eviction time, attributing the page
+  /// to `prefetch_useful` (accessed bit set) or `prefetch_wasted`.
+  void settle_speculative(u64 vpn);
   void note_activity();
   void arm_daemons();
   void ws_sweep();
@@ -169,7 +229,9 @@ class Pager final : public mem::ResidencyObserver {
   mem::AddressSpace& as_;
   PagerConfig cfg_;
   std::string name_;
-  SwapDevice swap_;
+  std::unique_ptr<SwapScheduler> owned_swap_;  // private front end (no shared device)
+  SwapScheduler* sched_ = nullptr;             // owned_swap_ or the group's shared scheduler
+  unsigned swap_owner_ = 0;
   std::unique_ptr<ReplacementPolicy> policy_;
   FramePool* pool_ = nullptr;
   rt::OsModel* os_ = nullptr;
@@ -179,12 +241,17 @@ class Pager final : public mem::ResidencyObserver {
   /// contents are mid-read: one reservation + one device read serve all
   /// waiters (the kernel's wait-on-page-lock behavior). An entry exists
   /// from the moment the first fault passes the residency check until its
-  /// `ready` fires.
+  /// `ready` fires. In-flight prefetches register here too, so demand
+  /// faults coalesce onto them instead of double-reading the device.
   std::unordered_map<u64, std::vector<sim::EventFn>> inflight_faults_;
   /// Pages a fault has reserved a frame for but not yet mapped. Counted
   /// against the budget so concurrent faults cannot double-spend one freed
   /// frame; entries clear when the page maps (on_map).
   std::unordered_set<u64> pending_maps_;
+  /// In-flight prefetch reads (subset of inflight_faults_ keys).
+  std::unordered_set<u64> inflight_prefetch_;
+  /// Resident readahead landings not yet referenced (reclaimed first).
+  std::unordered_set<u64> speculative_;
 
   // --- working-set estimator state ---
   std::unordered_map<u64, Cycles> ws_last_ref_;  // vpn -> last observed reference
@@ -205,6 +272,10 @@ class Pager final : public mem::ResidencyObserver {
   Counter& reclaims_;
   Counter& pageouts_;
   Counter& ws_sweeps_;
+  Counter& prefetches_;
+  Counter& prefetch_useful_;
+  Counter& prefetch_wasted_;
+  Counter& prefetch_late_;
   Histogram& fault_stall_;
   Histogram& ws_hist_;
 };

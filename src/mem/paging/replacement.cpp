@@ -61,6 +61,15 @@ class ClockPolicy final : public ReplacementPolicy {
 
   std::optional<u64> pick_victim() override {
     if (ring_.empty()) return std::nullopt;
+    // Wrong-path prefetches go first: a speculative page is reclaimed
+    // before the hand disturbs anyone else's accessed bits — but only if
+    // its own bit is still clear. Probing a *referenced* landing graduates
+    // it through the owner's funnel (it stops being speculative), exactly
+    // as a sweep would. Scan order: from the hand, the sweep's own order.
+    for (u64 step = 0; step < ring_.size(); ++step) {
+      const u64 key = ring_[(hand_ + step) % ring_.size()];
+      if (is_speculative(key) && !is_pinned(key) && !probe_(key)) return key;
+    }
     // At most two sweeps: the first clears every accessed bit, the second
     // must find a victim. Pinned pages behave as permanently referenced
     // (their accessed bits are left alone).
@@ -99,6 +108,11 @@ class LruApproxPolicy final : public ReplacementPolicy {
 
   std::optional<u64> pick_victim() override {
     if (ages_.empty()) return std::nullopt;
+    // Wrong-path prefetches first (lowest key — deterministic map order);
+    // probing a referenced landing graduates it via the owner's funnel
+    // without perturbing the aging histories.
+    for (const auto& [key, age] : ages_)
+      if (is_speculative(key) && !is_pinned(key) && !probe_(key)) return key;
     std::optional<u64> victim;
     unsigned best_age = 256;
     for (auto& [key, age] : ages_) {
@@ -120,6 +134,8 @@ class LruApproxPolicy final : public ReplacementPolicy {
 
 class FifoPolicy final : public ReplacementPolicy {
  public:
+  explicit FifoPolicy(AccessedProbe probe) : probe_(std::move(probe)) {}
+
   const char* name() const noexcept override { return "fifo"; }
   u64 tracked_pages() const noexcept override { return queue_.size(); }
 
@@ -136,18 +152,24 @@ class FifoPolicy final : public ReplacementPolicy {
   }
 
   std::optional<u64> pick_victim() override {
+    // Wrong-path prefetches first, in arrival order. The probe keeps FIFO
+    // locality-blind for everything else; here it only tells a used
+    // landing (graduated through the owner's funnel) from a wrong one.
+    for (const u64 key : queue_)
+      if (is_speculative(key) && !is_pinned(key) && !probe_(key)) return key;
     for (const u64 key : queue_)
       if (!is_pinned(key)) return key;
     return std::nullopt;
   }
 
  private:
+  AccessedProbe probe_;
   std::deque<u64> queue_;
 };
 
 class RandomPolicy final : public ReplacementPolicy {
  public:
-  explicit RandomPolicy(u64 seed) : rng_(seed) {}
+  RandomPolicy(AccessedProbe probe, u64 seed) : probe_(std::move(probe)), rng_(seed) {}
 
   const char* name() const noexcept override { return "random"; }
   u64 tracked_pages() const noexcept override { return pages_.size(); }
@@ -167,6 +189,14 @@ class RandomPolicy final : public ReplacementPolicy {
 
   std::optional<u64> pick_victim() override {
     if (pages_.empty()) return std::nullopt;
+    // Wrong-path prefetches first, in insertion order; the RNG is not
+    // consumed so runs with and without prefetch hits stay comparable.
+    for (u64 idx = 0; idx < pages_.size(); ++idx) {
+      if (is_speculative(pages_[idx]) && !is_pinned(pages_[idx]) && !probe_(pages_[idx])) {
+        last_pick_ = idx;
+        return pages_[idx];
+      }
+    }
     // One draw, then a deterministic forward scan past any pinned pages.
     const u64 start = rng_.below(pages_.size());
     for (u64 step = 0; step < pages_.size(); ++step) {
@@ -180,6 +210,7 @@ class RandomPolicy final : public ReplacementPolicy {
   }
 
  private:
+  AccessedProbe probe_;
   Rng rng_;
   std::vector<u64> pages_;
   u64 last_pick_ = 0;
@@ -191,8 +222,8 @@ std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, AccessedProbe pr
   switch (kind) {
     case PolicyKind::kClock: return std::make_unique<ClockPolicy>(std::move(probe));
     case PolicyKind::kLruApprox: return std::make_unique<LruApproxPolicy>(std::move(probe));
-    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
-    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>(std::move(probe));
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(std::move(probe), seed);
   }
   throw std::invalid_argument("unknown replacement policy kind");
 }

@@ -42,12 +42,25 @@ using AccessedProbe = std::function<bool(u64 key)>;
 /// would retarget the frame underneath a committed bus transaction.
 using PinnedProbe = std::function<bool(u64 key)>;
 
+/// True when the page landed through swap-in readahead and has not been
+/// referenced since (a speculative, possibly wrong-path prefetch). Every
+/// policy reclaims such pages *first*: a prediction that missed must not
+/// push out a page the process demonstrably used. The owner (pager) clears
+/// the flag the moment a reference is observed.
+using SpeculativeProbe = std::function<bool(u64 key)>;
+
 class ReplacementPolicy {
  public:
   virtual ~ReplacementPolicy() = default;
 
   /// Installs the pin filter; absent = nothing is ever pinned.
   void set_pinned_probe(PinnedProbe pinned) { pinned_ = std::move(pinned); }
+
+  /// Installs the wrong-path-prefetch filter; absent = nothing is
+  /// speculative and victim selection is unchanged.
+  void set_speculative_probe(SpeculativeProbe speculative) {
+    speculative_ = std::move(speculative);
+  }
 
   virtual const char* name() const noexcept = 0;
 
@@ -66,9 +79,11 @@ class ReplacementPolicy {
 
  protected:
   bool is_pinned(u64 key) const { return pinned_ && pinned_(key); }
+  bool is_speculative(u64 key) const { return speculative_ && speculative_(key); }
 
  private:
   PinnedProbe pinned_;
+  SpeculativeProbe speculative_;
 };
 
 /// `probe` supplies the accessed bits (CLOCK/LRU test-and-clear through it);

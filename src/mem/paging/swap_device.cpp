@@ -5,6 +5,14 @@
 
 namespace vmsls::paging {
 
+const char* swap_sched_name(SwapSchedPolicy policy) noexcept {
+  switch (policy) {
+    case SwapSchedPolicy::kFifo: return "fifo";
+    case SwapSchedPolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
 SwapDevice::SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_bytes,
                        std::string name)
     : sim_(sim),
@@ -13,40 +21,52 @@ SwapDevice::SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_byte
       name_(std::move(name)),
       reads_(sim.stats().counter(name_ + ".reads")),
       writes_(sim.stats().counter(name_ + ".writes")),
-      bytes_(sim.stats().counter(name_ + ".bytes")),
-      queue_wait_(sim.stats().histogram(name_ + ".queue_wait")) {
+      bytes_(sim.stats().counter(name_ + ".bytes")) {
   require(cfg.bytes_per_cycle > 0, "swap device needs nonzero bandwidth");
   require(page_bytes > 0, "swap device needs a page size");
 }
 
-void SwapDevice::issue(Cycles latency, sim::EventFn done) {
-  const Cycles transfer = latency + page_bytes_ / cfg_.bytes_per_cycle;
+void SwapDevice::issue(Cycles latency, u64 bytes, sim::EventFn done) {
+  const Cycles transfer = latency + bytes / cfg_.bytes_per_cycle;
   const Cycles start = std::max(sim_.now(), port_free_);
-  queue_wait_.record(start - sim_.now());
   port_free_ = start + transfer;
-  bytes_.add(page_bytes_);
+  bytes_.add(bytes);
   sim_.schedule_at(port_free_, std::move(done));
 }
 
 void SwapDevice::write_page(u64 vpn, sim::EventFn done) {
   note_swapped(vpn);
   writes_.add();
-  issue(cfg_.write_latency, std::move(done));
+  issue(cfg_.write_latency, page_bytes_, std::move(done));
 }
 
 void SwapDevice::read_page(u64 vpn, sim::EventFn done) {
   if (!holds(vpn))
     throw std::logic_error(name_ + ": swap-in of page not held by the device");
   reads_.add();
-  issue(cfg_.read_latency, [this, vpn, done = std::move(done)]() mutable {
+  issue(cfg_.read_latency, page_bytes_, [this, vpn, done = std::move(done)]() mutable {
     slots_.erase(vpn);
     done();
   });
 }
 
+void SwapDevice::read_pages(const std::vector<u64>& vpns, sim::EventFn done) {
+  for (const u64 vpn : vpns)
+    if (!holds(vpn))
+      throw std::logic_error(name_ + ": clustered swap-in of page not held by the device");
+  reads_.add(vpns.size());
+  issue(cfg_.read_latency, vpns.size() * page_bytes_,
+        [this, vpns, done = std::move(done)]() mutable {
+          for (const u64 vpn : vpns) slots_.erase(vpn);
+          done();
+        });
+}
+
 void SwapDevice::note_swapped(u64 vpn) {
   if (slots_.insert(vpn).second && slots_.size() > cfg_.slot_limit)
-    throw std::runtime_error(name_ + ": swap device out of slots");
+    throw std::runtime_error(name_ + ": swap device out of slots (" +
+                             std::to_string(slots_.size()) + " allocated, limit " +
+                             std::to_string(cfg_.slot_limit) + ")");
 }
 
 }  // namespace vmsls::paging

@@ -7,21 +7,59 @@
 // *which* pages it holds (slot bookkeeping) and charges time; page *bytes*
 // stay in the AddressSpace backing store, which already plays the role of
 // swap-file contents for the functional model.
+//
+// Request *scheduling* — the queue, dispatch policy, slot-number geometry,
+// and readahead — lives one layer up in SwapScheduler (swap_scheduler.hpp):
+// the scheduler hands this device one transfer at a time, so the port model
+// here stays the raw timing primitive. Pages are opaque 64-bit keys; a
+// private device tracks raw virtual page numbers while a shared device
+// tracks (owner, vpn) keys packed by its scheduler.
 #pragma once
 
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
 namespace vmsls::paging {
 
+/// Dispatch order for a SwapScheduler's request queue.
+enum class SwapSchedPolicy {
+  kFifo,      ///< strict arrival order, class-blind
+  kPriority,  ///< demand reads >> fault-path demand writes >> prefetch
+              ///< reads >> background writebacks, with a bounded-bypass
+              ///< starvation guard on everything below demand reads
+};
+
+const char* swap_sched_name(SwapSchedPolicy policy) noexcept;
+
 struct SwapConfig {
   Cycles read_latency = 4000;     // per-operation device access latency
   Cycles write_latency = 6000;    // writes are slower on flash-class media
   unsigned bytes_per_cycle = 4;   // transfer bandwidth across the device port
   u64 slot_limit = 1ull << 20;    // capacity in pages; exceeded = hard error
+
+  // --- shared swap I/O subsystem knobs (threaded through PlatformSpec::pager.swap) ---
+
+  /// In a ProcessGroup, members share one device + scheduler ("one flash
+  /// part, N pagers") instead of each pager owning a private device.
+  /// Ignored by a standalone System — there is nobody to share with.
+  bool shared = false;
+  /// Request-queue dispatch policy.
+  SwapSchedPolicy sched = SwapSchedPolicy::kFifo;
+  /// Swap-in readahead: on each demand swap-in, prefetch up to this many
+  /// neighboring slots (same owner, same cluster). 0 disables prefetch.
+  unsigned readahead = 0;
+  /// Slot-allocator clustering granularity: a process's evicted pages land
+  /// in per-cluster regions of this many adjacent slots, keyed by vpn, so
+  /// virtually-neighboring evictions occupy neighboring slots and
+  /// readahead pulls pages the process is likely to touch next.
+  u64 cluster_pages = 64;
+  /// Priority mode: a queued writeback is dispatched after at most this
+  /// many reads bypass it (the starvation guard).
+  u64 writeback_starvation_limit = 8;
 };
 
 class SwapDevice {
@@ -32,6 +70,7 @@ class SwapDevice {
   SwapDevice& operator=(const SwapDevice&) = delete;
 
   const SwapConfig& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return name_; }
 
   /// True when the device holds a copy of the page (slot allocated).
   bool holds(u64 vpn) const { return slots_.count(vpn) != 0; }
@@ -53,6 +92,13 @@ class SwapDevice {
   /// so slot occupancy tracks pages that are out, not pages that ever were.
   void read_page(u64 vpn, sim::EventFn done);
 
+  /// Timed clustered read: all pages stream in ONE device operation — one
+  /// access latency, then bytes/bandwidth for the whole run. This is what
+  /// makes swap-in readahead pay: the scheduler merges adjacent-slot reads
+  /// so a cluster costs little more than its demand page alone. Every page
+  /// must be held; all slots free at the shared completion instant.
+  void read_pages(const std::vector<u64>& vpns, sim::EventFn done);
+
   /// Slot bookkeeping without device time: pages evicted "by fiat" during
   /// experiment setup land in swap instantly, so later faults on them pay
   /// the swap-in cost.
@@ -62,9 +108,9 @@ class SwapDevice {
   u64 writes() const noexcept { return writes_.value(); }
 
  private:
-  /// Serializes a transfer on the single device port; `done` fires at
-  /// completion time.
-  void issue(Cycles latency, sim::EventFn done);
+  /// Serializes a transfer of `bytes` on the single device port; `done`
+  /// fires at completion time.
+  void issue(Cycles latency, u64 bytes, sim::EventFn done);
 
   sim::Simulator& sim_;
   SwapConfig cfg_;
@@ -76,7 +122,6 @@ class SwapDevice {
   Counter& reads_;
   Counter& writes_;
   Counter& bytes_;
-  Histogram& queue_wait_;
 };
 
 }  // namespace vmsls::paging

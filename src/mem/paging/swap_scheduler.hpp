@@ -1,0 +1,185 @@
+// Shared swap I/O front end: one device, N pagers, a real request queue.
+//
+// The per-pager SwapDevice of PRs 1–4 serialized transfers on a private
+// `port_free_` timestamp, so N over-subscribed processes paged against N
+// independent flash parts that never queued against each other. This class
+// promotes the swap path to a first-class shared I/O subsystem, analogous
+// to the shared memory bus:
+//
+//   * N pagers register as *owners* of one scheduler (per ProcessGroup,
+//     when `SwapConfig::shared` is set) or one pager owns a private
+//     instance — the same code path either way, so a single-member shared
+//     device is cycle-identical to a private one.
+//   * Requests carry an owner and a class (demand read >> prefetch read >>
+//     background writeback) and wait in a real request queue; a pluggable
+//     dispatch policy (FIFO, or priority with a bounded-bypass
+//     writeback-starvation guard) picks what the single device port
+//     services next.
+//   * A clustering slot allocator keeps a process's evicted
+//     virtually-neighboring pages in adjacent numeric slots (per-owner
+//     regions of `cluster_pages` slots keyed by vpn), so the pager's
+//     readahead can ask for the `neighbors` of a demand swap-in and pull
+//     the pages the process is statistically about to fault on.
+//
+// The timing primitive stays SwapDevice: the scheduler hands it one
+// transfer at a time, with pages identified by (owner, vpn) keys packed
+// like the FramePool's. Per-owner counters land under "<owner>.swap.*" so
+// per-process summaries keep working when the device itself is shared; in
+// the private case those names coincide with the device's own and are
+// aliased, not double-counted.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/paging/swap_device.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace vmsls::paging {
+
+/// Request classes in descending dispatch priority (kPriority mode).
+/// Demand *writes* are the fault path's eviction writebacks — a demand
+/// fault is suspended on them, so only demand reads may bypass; kWriteback
+/// is the pageout daemon's background cleaning, which everything bypasses
+/// (up to the starvation guard).
+enum class SwapReqClass { kDemandRead, kDemandWrite, kPrefetchRead, kWriteback };
+
+const char* swap_req_class_name(SwapReqClass cls) noexcept;
+
+class SwapScheduler {
+ public:
+  SwapScheduler(sim::Simulator& sim, const SwapConfig& cfg, u64 page_bytes, std::string name);
+
+  SwapScheduler(const SwapScheduler&) = delete;
+  SwapScheduler& operator=(const SwapScheduler&) = delete;
+
+  const SwapConfig& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Registers a client (a pager). Registration order fixes owner ids —
+  /// deterministic under the ProcessGroup's attach-order contract. The
+  /// owner name prefixes that client's per-owner counters
+  /// ("<owner_name>.swap.reads" / ".writes" / ".queue_wait").
+  unsigned register_owner(const std::string& owner_name);
+
+  /// True when the device holds a copy of the owner's page.
+  bool holds(unsigned owner, u64 vpn) const;
+
+  /// Slot bookkeeping without device time (experiment-setup evictions).
+  void note_swapped(unsigned owner, u64 vpn);
+
+  /// Queues a timed page read (swap-in). Requires holds(owner, vpn); the
+  /// slot frees when the transfer completes on the device port. When the
+  /// read dispatches, any other queued reads on slots in the SAME cluster
+  /// region ride along as one clustered device operation (one access
+  /// latency, streamed bytes) — this is what makes readahead nearly free
+  /// next to the demand read it follows.
+  void read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done);
+
+  /// Runs `fill` with dispatch deferred, then pumps once: requests enqueued
+  /// inside land in the queue atomically, so a demand read and its
+  /// readahead dispatch as one clustered operation instead of the first
+  /// read racing out alone on an idle port.
+  void batched(const std::function<void()>& fill);
+
+  /// Queues a timed page write (swap-out / writeback); `cls` must be
+  /// kDemandWrite (fault-path eviction) or kWriteback (background
+  /// cleaning). Allocates a slot at enqueue so holds() is immediately true.
+  void write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done);
+
+  /// Upgrades a *queued* prefetch read for the page to demand class (a
+  /// demand fault coalesced onto it): the waiter is now a stalled thread,
+  /// not a guess. No-op when the request already dispatched or none exists.
+  void promote(unsigned owner, u64 vpn);
+
+  /// True while the port is mid-transfer or requests wait in the queue —
+  /// the pageout daemons' yield signal, now device-wide.
+  bool busy() const noexcept { return in_flight_ || !queue_.empty(); }
+
+  /// Pages of `owner` occupying the `k` slots directly after `vpn`'s slot,
+  /// in ascending slot order, clipped to the cluster region (clustering
+  /// guarantees they belong to the same owner). The readahead candidates
+  /// for a demand swap-in of `vpn`.
+  std::vector<u64> neighbors(unsigned owner, u64 vpn, unsigned k) const;
+
+  // --- introspection ---
+  u64 reads() const noexcept { return device_.reads(); }
+  u64 writes() const noexcept { return device_.writes(); }
+  u64 slots_in_use() const noexcept { return device_.slots_in_use(); }
+  u64 queue_depth() const noexcept { return queue_.size(); }
+  u64 owners() const noexcept { return static_cast<u64>(owners_.size()); }
+  u64 owner_reads(unsigned owner) const;
+  u64 owner_writes(unsigned owner) const;
+  u64 wb_promotions() const noexcept { return wb_promotions_.value(); }
+
+ private:
+  static constexpr unsigned kOwnerShift = 44;  // vpns fit far below 2^44
+
+  struct Request {
+    unsigned owner = 0;
+    u64 key = 0;
+    SwapReqClass cls = SwapReqClass::kDemandRead;
+    Cycles enqueued = 0;
+    sim::EventFn done;
+  };
+
+  /// Per-owner counters. Null pointers mean the name aliased the device's
+  /// own aggregate counter (the private single-owner case) — the device
+  /// already bumps it, so the scheduler must not bump it again.
+  struct Owner {
+    std::string name;
+    Counter* reads = nullptr;
+    Counter* writes = nullptr;
+    Histogram* queue_wait = nullptr;
+  };
+
+  u64 pack(unsigned owner, u64 vpn) const;
+  void alloc_slot(unsigned owner, u64 vpn);
+  void free_slot(u64 key);
+  std::size_t select_next();
+  void pump();
+  /// Issues one device operation: a single write, or a read batch (the
+  /// selected read plus every queued same-cluster read) as one clustered
+  /// transfer. `batch[0]` is the selected request.
+  void dispatch(std::vector<Request> batch);
+
+  sim::Simulator& sim_;
+  SwapConfig cfg_;
+  std::string name_;
+  SwapDevice device_;
+  std::vector<Owner> owners_;
+
+  std::deque<Request> queue_;
+  bool in_flight_ = false;
+  unsigned defer_ = 0;  // batched() scope depth: pump waits for the scope end
+  /// Dispatches that bypassed the oldest queued request (the deque front,
+  /// whatever its class) — the starvation-guard odometer. Bounds the wait
+  /// of writebacks AND prefetches that higher-class traffic would
+  /// otherwise bypass forever.
+  u64 wb_bypassed_ = 0;
+
+  // --- clustering slot allocator ---
+  std::unordered_map<u64, u64> slot_of_;            // packed key -> numeric slot
+  std::unordered_map<u64, u64> page_at_;            // numeric slot -> packed key
+  std::unordered_map<u64, u64> region_of_cluster_;  // packed (owner, vpn/cluster) -> region
+  std::unordered_map<u64, u64> cluster_of_region_;  // region -> packed cluster (for freeing)
+  std::unordered_map<u64, u64> region_pop_;         // region -> slots in use
+  std::set<u64> free_regions_;                      // lowest-first reuse: deterministic
+  u64 next_region_ = 0;
+
+  Histogram& queue_wait_;
+  Histogram& queue_depth_;
+  Counter& demand_reads_;
+  Counter& demand_writes_;
+  Counter& prefetch_reads_;
+  Counter& writebacks_;
+  Counter& wb_promotions_;
+  Counter& prefetch_promotions_;
+};
+
+}  // namespace vmsls::paging

@@ -47,6 +47,12 @@ class Process {
   /// Eagerly maps (pins) the range. No shootdown needed: invalid->valid.
   void populate(VirtAddr va, u64 bytes) { as_.populate(va, bytes); }
 
+  /// Demand-maps one page with contents from the backing store, landing it
+  /// resident-clean (accessed and dirty both clear). Invalid -> valid: no
+  /// shootdown needed. The pager's swap-in/readahead landing path; costs
+  /// are charged by the caller. Returns the frame.
+  u64 map_in(VirtAddr va) { return as_.map_page(va, /*writable=*/true); }
+
   /// Evicts resident pages in the range and shoots down every hardware TLB
   /// and the shared walk cache. Returns pages evicted.
   u64 evict(VirtAddr va, u64 bytes);

@@ -121,6 +121,49 @@ DseResult DesignSpaceExplorer::explore_offload_pager(
   return result;
 }
 
+DseResult DesignSpaceExplorer::explore_swap(const AppSpec& app, const std::string& thread,
+                                            const std::vector<SwapCandidate>& swap_candidates,
+                                            const std::vector<PagerCandidate>& pager_candidates,
+                                            const Evaluator& evaluate) {
+  require(!swap_candidates.empty(), "DSE needs at least one swap candidate");
+  require(!pager_candidates.empty(), "DSE needs at least one pager candidate");
+  app.thread(thread);  // throws for unknown thread names
+
+  DseResult result;
+
+  // Phase 1 (serial): synthesize the swap × pager grid. The swap knobs are
+  // runtime configuration, not fabric, so every point reuses the same
+  // resource shape — but each still elaborates with its own scheduler
+  // policy and readahead depth for scoring.
+  std::vector<SystemImage> images;
+  images.reserve(swap_candidates.size() * pager_candidates.size());
+  for (const SwapCandidate& sc : swap_candidates) {
+    for (const PagerCandidate& pc : pager_candidates) {
+      PlatformSpec plat = platform_;
+      plat.pager.frame_budget = pc.frame_budget;
+      plat.pager.policy = pc.policy;
+      plat.pager.swap.sched = sc.sched;
+      plat.pager.swap.readahead = sc.readahead;
+      SynthesisFlow flow(plat, options_);
+
+      images.push_back(flow.synthesize(app));
+      DseCandidate cand;
+      cand.frame_budget = pc.frame_budget;
+      cand.policy = pc.policy;
+      cand.swap_sched = sc.sched;
+      cand.readahead = sc.readahead;
+      cand.total = images.back().report().total;
+      cand.resource_utilization = images.back().report().utilization;
+      cand.fits = images.back().report().fits_budget;
+      result.candidates.push_back(cand);
+    }
+  }
+
+  score(images, result, evaluate);
+  pick_best(result);
+  return result;
+}
+
 void DesignSpaceExplorer::pick_best(DseResult& result) {
   for (std::size_t i = 0; i < result.candidates.size(); ++i) {
     const auto& c = result.candidates[i];

@@ -16,6 +16,7 @@
 
 #include "dma/offload.hpp"
 #include "mem/paging/replacement.hpp"
+#include "mem/paging/swap_device.hpp"
 #include "sls/synthesis.hpp"
 
 namespace vmsls::sls {
@@ -35,6 +36,13 @@ struct OffloadCandidate {
   dma::CopyMode mode = dma::CopyMode::kSgDma;
 };
 
+/// One swap I/O operating point for the swap grid: request-queue dispatch
+/// policy × swap-in readahead depth.
+struct SwapCandidate {
+  paging::SwapSchedPolicy sched = paging::SwapSchedPolicy::kFifo;
+  unsigned readahead = 0;
+};
+
 struct DseCandidate {
   unsigned tlb_entries = 0;
   /// Pager operating point this candidate was synthesized with (the
@@ -44,6 +52,10 @@ struct DseCandidate {
   /// Offload operating point (explore_offload_pager axis; SVM otherwise).
   bool include_dma = false;
   dma::CopyMode copy_mode = dma::CopyMode::kSgDma;
+  /// Swap I/O operating point (explore_swap axis; the platform default
+  /// otherwise).
+  paging::SwapSchedPolicy swap_sched = paging::SwapSchedPolicy::kFifo;
+  unsigned readahead = 0;
   Resources total{};
   double resource_utilization = 0.0;
   bool fits = false;
@@ -106,6 +118,16 @@ class DesignSpaceExplorer {
                                   const std::vector<OffloadCandidate>& offload_candidates,
                                   const std::vector<PagerCandidate>& pager_candidates,
                                   const Evaluator& evaluate = nullptr);
+
+  /// Grid sweep over the shared-swap subsystem's operating points: dispatch
+  /// policy × readahead depth × pager budget point, all scored through the
+  /// same thread pool. Candidate order is swap-major (swap_candidates[0] ×
+  /// every pager point first); results are bit-identical to the serial
+  /// sweep.
+  DseResult explore_swap(const AppSpec& app, const std::string& thread,
+                         const std::vector<SwapCandidate>& swap_candidates,
+                         const std::vector<PagerCandidate>& pager_candidates,
+                         const Evaluator& evaluate = nullptr);
 
  private:
   void score(std::vector<SystemImage>& images, DseResult& result, const Evaluator& evaluate);

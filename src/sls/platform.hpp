@@ -40,7 +40,11 @@ struct PlatformSpec {
   rt::OsConfig os{};
   cpu::CpuConfig cpu{};
   /// Memory-pressure model: frame budget, replacement policy, swap-device
-  /// timing. frame_budget == 0 (the default) disables the pager entirely.
+  /// timing, and the shared swap I/O knobs (`pager.swap.shared` for one
+  /// device per ProcessGroup, `pager.swap.sched` for the request-queue
+  /// dispatch policy, `pager.swap.readahead` for swap-in clustering
+  /// prefetch). frame_budget == 0 (the default) disables the pager
+  /// entirely.
   paging::PagerConfig pager{};
   /// Copy-based offload baseline (elaborated when SynthesisOptions
   /// include_dma is set): DMA engine burst geometry and the driver's copy

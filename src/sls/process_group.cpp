@@ -15,6 +15,11 @@ ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
   bus_ = std::make_unique<mem::MemoryBus>(sim_, *dram_, platform_.bus, "bus");
   os_ = std::make_unique<rt::OsModel>(sim_, platform_.os, "os");
   pool_ = std::make_unique<paging::FramePool>(sim_, pool_cfg, "pool");
+  // One flash part for the whole group: member pagers register as owners
+  // of this scheduler instead of instantiating private devices, so their
+  // swap traffic queues against each other like bus traffic does.
+  if (platform_.pager.swap.shared)
+    swap_ = std::make_unique<paging::SwapScheduler>(sim_, platform_.pager.swap, page, "swap");
 }
 
 System& ProcessGroup::add_process(const SystemImage& image, const std::string& instance) {
@@ -30,6 +35,7 @@ System& ProcessGroup::add_process(const SystemImage& image, const std::string& i
   shared.bus = bus_.get();
   shared.os = os_.get();
   shared.pool = pool_.get();
+  shared.swap = swap_.get();
   systems_.push_back(image.elaborate(sim_, shared, instance));
   instances_.push_back(instance);
   return *systems_.back();

@@ -45,6 +45,11 @@ class ProcessGroup {
   rt::OsModel& os() noexcept { return *os_; }
   mem::MemoryBus& bus() noexcept { return *bus_; }
 
+  /// The group-wide swap front end ("one flash part, N pagers"), present
+  /// when the platform sets `pager.swap.shared`; nullptr when each process
+  /// pages against a private device.
+  paging::SwapScheduler* shared_swap() noexcept { return swap_.get(); }
+
   void start_all();
   bool all_halted() const noexcept;
 
@@ -61,6 +66,7 @@ class ProcessGroup {
   std::unique_ptr<mem::MemoryBus> bus_;
   std::unique_ptr<rt::OsModel> os_;
   std::unique_ptr<paging::FramePool> pool_;
+  std::unique_ptr<paging::SwapScheduler> swap_;
   std::vector<std::unique_ptr<System>> systems_;
   std::vector<std::string> instances_;
 };

@@ -61,7 +61,41 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
   os << "pager: evictions=" << at("evictions") << " swap_ins=" << at("swap_ins")
      << " swap_outs=" << at("swap.writes") << " writebacks=" << at("writebacks")
      << " reclaims=" << at("reclaims") << " mean_fault_stall=" << at("fault_stall.mean")
+     << " swap_queue_wait=" << at("swap.queue_wait.mean")
      << " faults=" << stats.counter_value(fault_handler_name + ".faults") << "\n";
+  if (at("prefetches") > 0) {
+    const double useful = at("prefetch_useful");
+    const double late = at("prefetch_late");
+    const double issued = at("prefetches");
+    const double demand = at("swap_ins");
+    os << "pager: prefetches=" << issued << " useful=" << useful << " late=" << late
+       << " wasted=" << at("prefetch_wasted")
+       << " accuracy=" << (issued > 0 ? (useful + late) / issued : 0.0)
+       << " coverage=" << (demand + useful + late > 0 ? (useful + late) / (demand + useful + late)
+                                                      : 0.0)
+       << "\n";
+  }
+}
+
+void write_swap_summary(std::ostream& os, const StatRegistry& stats,
+                        const std::string& swap_name) {
+  const auto swap = stats.snapshot_prefix(swap_name + ".");
+  if (swap.empty()) {
+    os << "swap: inactive (no swap front end named '" << swap_name << "')\n";
+    return;
+  }
+  const auto at = [&swap, &swap_name](const std::string& key) {
+    auto it = swap.find(swap_name + "." + key);
+    return it == swap.end() ? 0.0 : it->second;
+  };
+  os << "swap: reads=" << at("reads") << " writes=" << at("writes") << " bytes=" << at("bytes")
+     << " queue_wait_mean=" << at("queue_wait.mean") << " queue_wait_max=" << at("queue_wait.max")
+     << " queue_depth_mean=" << at("sched.queue_depth.mean")
+     << " queue_depth_max=" << at("sched.queue_depth.max") << "\n";
+  os << "swap.sched: demand_reads=" << at("sched.demand_reads")
+     << " prefetch_reads=" << at("sched.prefetch_reads")
+     << " writebacks=" << at("sched.writebacks")
+     << " wb_promotions=" << at("sched.wb_promotions") << "\n";
 }
 
 void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,

@@ -24,12 +24,23 @@ void write_report_markdown(std::ostream& os, const SynthesisReport& report,
 void write_stats_csv(std::ostream& os, const StatRegistry& stats);
 
 /// One-line-per-counter summary of the paging subsystem after a run under
-/// memory pressure: faults, evictions, swap-ins/outs, dirty writebacks, and
-/// mean fault-service time. Quiet (prints a note) when the registry holds
-/// no pager counters — i.e. the system ran without a frame budget.
+/// memory pressure: faults, evictions, swap-ins/outs, dirty writebacks,
+/// mean fault-service time, mean swap-queue wait, and — when readahead ran
+/// — the prefetch accuracy counters. Quiet (prints a note) when the
+/// registry holds no pager counters — i.e. the system ran without a frame
+/// budget.
 void write_pager_summary(std::ostream& os, const StatRegistry& stats,
                          const std::string& pager_name = "pager",
                          const std::string& fault_handler_name = "faults");
+
+/// Two-line summary of a swap front end (device + scheduler) after a run:
+/// device transfers and bytes, queue-wait and queue-depth moments, and the
+/// per-class dispatch counts with writeback starvation-guard promotions.
+/// Works for a shared device (`swap_name` = "swap") and a private one
+/// ("pager.swap"). Quiet (prints a note) when the registry holds no such
+/// counters.
+void write_swap_summary(std::ostream& os, const StatRegistry& stats,
+                        const std::string& swap_name = "swap");
 
 /// One-line summary of a shared FramePool after a multi-process
 /// over-subscription run: pool evictions, cross-process evictions, and

@@ -68,7 +68,11 @@ void System::build(const SharedSubstrate* shared) {
 
   // --- pager daemon (memory-pressure model) ---
   if (plat.pager.frame_budget > 0 || pool_ != nullptr) {
-    pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager");
+    // A substrate-supplied SwapScheduler shares one flash part across all
+    // member pagers; otherwise the pager owns a private one.
+    paging::SwapScheduler* shared_swap = shared != nullptr ? shared->swap : nullptr;
+    pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager",
+                                             shared_swap);
     pager_->set_os(os_, plat.os.daemon_service);
     if (pool_ != nullptr) pool_->attach(*pager_);
     faults_->set_pager(pager_.get());

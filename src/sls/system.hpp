@@ -31,6 +31,7 @@
 #include "mem/mmu.hpp"
 #include "mem/paging/frame_pool.hpp"
 #include "mem/paging/pager.hpp"
+#include "mem/paging/swap_scheduler.hpp"
 #include "mem/physmem.hpp"
 #include "mem/walker.hpp"
 #include "rt/os.hpp"
@@ -41,7 +42,9 @@ namespace vmsls::sls {
 
 /// Machine-wide components several Systems share on one simulator. All
 /// pointers must outlive every System elaborated against the substrate;
-/// `pool` may be null (no shared memory-pressure arbitration).
+/// `pool` may be null (no shared memory-pressure arbitration) and `swap`
+/// may be null (each pager keeps a private swap device instead of sharing
+/// one flash part).
 struct SharedSubstrate {
   mem::PhysicalMemory* pm = nullptr;
   mem::FrameAllocator* frames = nullptr;
@@ -49,6 +52,7 @@ struct SharedSubstrate {
   mem::MemoryBus* bus = nullptr;
   rt::OsModel* os = nullptr;
   paging::FramePool* pool = nullptr;
+  paging::SwapScheduler* swap = nullptr;
 };
 
 class System {

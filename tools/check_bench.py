@@ -9,9 +9,17 @@ Usage:
 Every section present in the baseline must exist in the fresh report and
 retire at least (1 - threshold) x the baseline events/s. Sections new in the
 fresh report are listed but do not gate (they gate once the baseline is
-refreshed). Sections with no baseline throughput (events_per_sec == 0) or
-fewer than --min-events simulated events are informational only — for those,
-events/s measures harness wall time, not engine throughput.
+refreshed). The same applies one level down: a metric present in a fresh
+section but missing from (or malformed in) the committed baseline section is
+informational, never an error — the tool prints a hint to refresh
+bench/baselines/ instead of crashing or failing the gate. Sections with no
+baseline throughput (events_per_sec == 0) or fewer than --min-events
+simulated events are informational only — for those, events/s measures
+harness wall time, not engine throughput.
+
+When $GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step) the
+baseline-vs-current delta table is also appended there as markdown, so perf
+drift is visible from the Actions page without downloading artifacts.
 
 Refreshing the baseline
 -----------------------
@@ -28,6 +36,7 @@ with a line in the PR description saying why.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -49,6 +58,50 @@ def load(path):
     return out
 
 
+def metric(section, key):
+    """Numeric metric from a section, or None when absent/malformed.
+
+    A metric that the current run reports but the committed baseline does
+    not (new bench code, hand-edited baseline, schema drift) must degrade
+    to "informational", never crash the gate.
+    """
+    try:
+        value = section.get(key)
+        return None if value is None else float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def write_github_summary(rows, new_sections, new_metrics, failures, threshold):
+    """Append the delta table to $GITHUB_STEP_SUMMARY as markdown (no-op
+    outside GitHub Actions)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a") as f:
+            f.write("### Bench regression gate (baseline vs current)\n\n")
+            f.write("| section | baseline ev/s | fresh ev/s | delta | verdict |\n")
+            f.write("|---|---:|---:|---:|---|\n")
+            for name, base_eps, fresh_eps, verdict in rows:
+                if fresh_eps is None:
+                    f.write(f"| {name} | {base_eps:.3e} | — | — | {verdict} |\n")
+                else:
+                    delta = (fresh_eps / base_eps - 1.0) * 100.0 if base_eps > 0 else 0.0
+                    f.write(f"| {name} | {base_eps:.3e} | {fresh_eps:.3e} "
+                            f"| {delta:+.1f}% | {verdict} |\n")
+            if new_sections:
+                f.write(f"\nNew sections (not gated until the baseline is refreshed): "
+                        f"{', '.join(new_sections)}\n")
+            if new_metrics:
+                f.write(f"\nNew metrics (informational): {', '.join(sorted(new_metrics))} — "
+                        f"refresh `bench/baselines/` to gate them.\n")
+            f.write(f"\n**{'FAIL' if failures else 'OK'}** — threshold {threshold:.0%}, "
+                    f"{len(failures)} regressed section(s).\n")
+    except OSError as e:
+        print(f"check_bench: warning: cannot write step summary: {e}", file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -65,19 +118,32 @@ def main():
 
     failures = []
     rows = []
+    new_metrics = set()
     for name, base in baseline.items():
-        base_eps = float(base.get("events_per_sec", 0.0))
+        base_eps = metric(base, "events_per_sec")
+        if base_eps is None:
+            # The committed baseline predates this metric: informational.
+            new_metrics.add(f"{name}.events_per_sec")
+            rows.append((name, 0.0, None, "skipped (metric missing from baseline)"))
+            continue
         if base_eps <= 0.0:
             rows.append((name, base_eps, None, "skipped (no baseline throughput)"))
             continue
-        if int(base.get("events", 0)) < args.min_events:
+        base_events = metric(base, "events")
+        # A missing/malformed events count gates like 0 did before: such a
+        # section's events/s is not a throughput, so it stays informational.
+        if int(base_events or 0) < args.min_events:
             rows.append((name, base_eps, None, "skipped (events/s not a throughput here)"))
             continue
         if name not in fresh:
             failures.append(name)
             rows.append((name, base_eps, None, "MISSING from fresh report"))
             continue
-        fresh_eps = float(fresh[name].get("events_per_sec", 0.0))
+        fresh_eps = metric(fresh[name], "events_per_sec")
+        if fresh_eps is None:
+            failures.append(name)
+            rows.append((name, base_eps, None, "MISSING events_per_sec in fresh report"))
+            continue
         ratio = fresh_eps / base_eps
         ok = ratio >= 1.0 - args.threshold
         if not ok:
@@ -86,6 +152,16 @@ def main():
                      f"{ratio:6.2f}x {'ok' if ok else 'REGRESSION'}"))
 
     new_sections = sorted(set(fresh) - set(baseline))
+    # Metrics the current run reports inside known sections that the
+    # committed baseline lacks: informational, with a refresh hint.
+    for name in set(fresh) & set(baseline):
+        fresh_section, base_section = fresh[name], baseline[name]
+        if isinstance(fresh_section, dict) and isinstance(base_section, dict):
+            for key, value in fresh_section.items():
+                if key == "name" or key in base_section:
+                    continue
+                if isinstance(value, (int, float)):
+                    new_metrics.add(f"{name}.{key}")
 
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'section'.ljust(width)}  {'baseline ev/s':>14}  {'fresh ev/s':>14}  verdict")
@@ -95,6 +171,11 @@ def main():
     if new_sections:
         print(f"new sections (not gated until the baseline is refreshed): "
               f"{', '.join(new_sections)}")
+    if new_metrics:
+        print(f"new metrics (informational): {', '.join(sorted(new_metrics))}")
+        print("hint: refresh bench/baselines/ (see --help) to start gating them.")
+
+    write_github_summary(rows, new_sections, new_metrics, failures, args.threshold)
 
     if failures:
         print(f"\ncheck_bench: FAIL — {len(failures)} section(s) regressed more than "
