@@ -33,14 +33,29 @@
 // Artifacts: BENCH_fig12_swap.json (engine-report schema) and
 // fig12_swap_summary.txt (headline numbers + write_swap_summary /
 // write_pager_summary dumps) for the CI artifact upload.
+//
+// --smoke mode (CI's traced run): skips the tables and runs the worked
+// example twice — once bare, once with a trace sink and the telemetry
+// sampler attached — and gates that (a) tracing perturbs nothing (cycles,
+// events, and ledgers bit-identical), (b) every span balances and every
+// fault span decomposes exactly into its evict + queue + io sub-spans with
+// the per-pager maximum matching the fault_stall histogram, and (c) the
+// telemetry time-series covers the whole run at the configured cadence.
+// --trace/--telemetry name the artifact files.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
+#include <tuple>
 
 #include "bench_util.hpp"
 #include "mem/paging/frame_pool.hpp"
 #include "mem/paging/swap_scheduler.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 #include "sls/process_group.hpp"
 #include "sls/report_writer.hpp"
 #include "util/table.hpp"
@@ -66,6 +81,11 @@ struct MixOptions {
   DeviceMode device = DeviceMode::kPrivate;
   unsigned readahead = 0;
   bool dump_summaries = false;
+  // --smoke instrumentation; all default off so the table runs stay bare.
+  std::string trace_path;                // Perfetto JSON artifact; empty = none
+  sim::TraceSink* extra_sink = nullptr;  // in-memory validation sink
+  u64 telemetry_period = 0;              // sampling period in cycles; 0 = off
+  std::string telemetry_csv;             // telemetry CSV artifact; empty = none
 };
 
 struct MixResult {
@@ -82,6 +102,11 @@ struct MixResult {
   u64 device_writes = 0;
   u64 wb_promotions = 0;
   double queue_wait_mean = 0;
+  // --smoke captures (empty unless the matching MixOptions knob was set).
+  std::vector<std::string> trace_tracks;
+  std::vector<std::string> telemetry_columns;
+  std::vector<sim::TelemetrySampler::Row> telemetry_rows;
+  std::vector<std::pair<std::string, double>> pager_fault_stall_max;
 
   double accuracy() const {
     return prefetches > 0
@@ -113,6 +138,17 @@ workloads::Workload make_mix_member(unsigned index) {
   }
 }
 
+/// Duplicates the stream to two sinks (--smoke wants both the JSON artifact
+/// and an in-memory copy for validation from one run).
+struct TeeSink final : sim::TraceSink {
+  sim::TraceSink* a = nullptr;
+  sim::TraceSink* b = nullptr;
+  void on_event(const sim::TraceContext& ctx, const sim::TraceEvent& ev) override {
+    if (a != nullptr) a->on_event(ctx, ev);
+    if (b != nullptr) b->on_event(ctx, ev);
+  }
+};
+
 MixResult run_mix(const MixOptions& opt) {
   const u64 page = 4 * KiB;
   std::vector<workloads::Workload> wls;
@@ -127,6 +163,7 @@ MixResult run_mix(const MixOptions& opt) {
                               ? paging::SwapSchedPolicy::kPriority
                               : paging::SwapSchedPolicy::kFifo;
   plat.pager.swap.readahead = opt.readahead;
+  plat.telemetry.period = opt.telemetry_period;
 
   paging::FramePoolConfig pool_cfg;
   pool_cfg.mode = paging::BudgetMode::kPerProcess;
@@ -134,6 +171,12 @@ MixResult run_mix(const MixOptions& opt) {
   pool_cfg.policy_seed = 7;
 
   sim::Simulator sim;
+  std::unique_ptr<sim::JsonTraceWriter> json;
+  if (!opt.trace_path.empty()) json = std::make_unique<sim::JsonTraceWriter>(opt.trace_path);
+  TeeSink tee;
+  tee.a = json.get();
+  tee.b = opt.extra_sink;
+  if (tee.a != nullptr || tee.b != nullptr) sim.trace().set_sink(&tee);
   sls::ProcessGroup group(sim, plat, pool_cfg);
   for (unsigned i = 0; i < opt.processes; ++i) {
     sls::PlatformSpec proc_plat = plat;
@@ -188,6 +231,8 @@ MixResult run_mix(const MixOptions& opt) {
     r.prefetch_wasted += pager->prefetch_wasted();
     // Ledger gates, per owner: reads/writes attributable to this process
     // must match its pager's own accounting exactly.
+    r.pager_fault_stall_max.emplace_back(prefix + "pager",
+                                         at(prefix + "pager.fault_stall.max"));
     const u64 reads = pager->swap().reads();
     const u64 writes = pager->swap().writes();
     if (reads != pager->swap_ins() + pager->prefetches())
@@ -227,6 +272,16 @@ MixResult run_mix(const MixOptions& opt) {
     sls::write_swap_summary(std::cout, sim.stats(),
                             opt.device == DeviceMode::kPrivate ? "p0.pager.swap" : "swap");
   }
+  if (group.telemetry() != nullptr) {
+    r.telemetry_columns = group.telemetry()->columns();
+    r.telemetry_rows = group.telemetry()->rows();
+    if (!opt.telemetry_csv.empty()) group.telemetry()->save_csv(opt.telemetry_csv);
+  }
+  if (json != nullptr) json->finish(sim.trace());
+  if (sim.trace().enabled()) {
+    r.trace_tracks = sim.trace().track_names();
+    sim.trace().set_sink(nullptr);
+  }
   return r;
 }
 
@@ -252,9 +307,184 @@ void determinism_gate() {
             << " events=" << a.events << " reads=" << a.device_reads << " (bit-identical)\n";
 }
 
+// --- --smoke: traced worked example with hard validation gates -------------
+
+struct MemorySink final : sim::TraceSink {
+  std::vector<sim::TraceEvent> events;  // names are literals; safe to retain
+  void on_event(const sim::TraceContext&, const sim::TraceEvent& ev) override {
+    events.push_back(ev);
+  }
+};
+
+/// Walks the captured stream: every begin has exactly one matching end (per
+/// (track, name, id) key, never nested, none left open); every "fault" span
+/// equals its "evict" + "queue" + "io" sub-spans cycle for cycle; at least
+/// one fault decomposed into all three; and per pager track the longest
+/// fault span matches the fault_stall histogram's max.
+void validate_spans(const std::vector<sim::TraceEvent>& events,
+                    const std::vector<std::string>& tracks,
+                    const std::vector<std::pair<std::string, double>>& stall_max) {
+  using Kind = sim::TraceEvent::Kind;
+  using Key = std::tuple<sim::TraceTrack, std::string, u64>;
+  std::map<Key, Cycles> open;  // begin-ts of the currently open span
+  struct Durations {
+    Cycles fault = 0, evict = 0, queue = 0, io = 0;
+    bool have_fault = false;
+  };
+  std::map<u64, Durations> by_id;
+  std::map<sim::TraceTrack, Cycles> max_fault_span;
+  u64 spans = 0;
+  for (const auto& ev : events) {
+    if (ev.kind != Kind::kBegin && ev.kind != Kind::kEnd) continue;
+    const Key key{ev.track, ev.name, ev.id};
+    if (ev.kind == Kind::kBegin) {
+      if (!open.emplace(key, ev.ts).second)
+        throw std::runtime_error("smoke: duplicate begin for span '" + std::string(ev.name) +
+                                 "' id=" + std::to_string(ev.id));
+      continue;
+    }
+    const auto it = open.find(key);
+    if (it == open.end())
+      throw std::runtime_error("smoke: end without begin for span '" + std::string(ev.name) +
+                               "' id=" + std::to_string(ev.id));
+    const Cycles dur = ev.ts - it->second;
+    open.erase(it);
+    ++spans;
+    const std::string name = ev.name;
+    auto& d = by_id[ev.id];
+    if (name == "fault") {
+      d.fault = dur;
+      d.have_fault = true;
+      auto& mx = max_fault_span[ev.track];
+      mx = std::max(mx, dur);
+    } else if (name == "evict") {
+      d.evict += dur;
+    } else if (name == "queue") {
+      d.queue += dur;
+    } else if (name == "io") {
+      d.io += dur;
+    }
+  }
+  if (!open.empty())
+    throw std::runtime_error("smoke: " + std::to_string(open.size()) +
+                             " spans still open at end of trace");
+  u64 faults = 0, full = 0;
+  for (const auto& [id, d] : by_id) {
+    if (!d.have_fault) continue;  // writeback/prefetch ids have no fault span
+    ++faults;
+    if (d.fault != d.evict + d.queue + d.io)
+      throw std::runtime_error(
+          "smoke: fault span id=" + std::to_string(id) + " (" + std::to_string(d.fault) +
+          " cycles) != evict " + std::to_string(d.evict) + " + queue " + std::to_string(d.queue) +
+          " + io " + std::to_string(d.io));
+    if (d.evict > 0 && d.queue > 0 && d.io > 0) ++full;
+  }
+  if (faults == 0) throw std::runtime_error("smoke: trace contains no fault spans");
+  if (full == 0)
+    throw std::runtime_error("smoke: no fault span decomposed into nonzero evict+queue+io");
+  for (const auto& [pager, want] : stall_max) {
+    Cycles got = 0;
+    for (sim::TraceTrack t = 0; t < tracks.size(); ++t)
+      if (tracks[t] == pager) {
+        const auto it = max_fault_span.find(t);
+        got = it == max_fault_span.end() ? 0 : it->second;
+      }
+    if (static_cast<double>(got) != want)
+      throw std::runtime_error("smoke: max fault span on '" + pager + "' (" +
+                               std::to_string(got) + ") != fault_stall.max (" +
+                               std::to_string(want) + ")");
+  }
+  std::cout << "[smoke] spans balanced: " << spans << " spans, " << faults
+            << " fault spans (" << full << " with nonzero evict+queue+io), "
+            << "per-pager max matches fault_stall.max\n";
+}
+
+void validate_telemetry(const MixResult& r, u64 period) {
+  if (r.telemetry_rows.empty()) throw std::runtime_error("smoke: telemetry produced no rows");
+  for (std::size_t i = 1; i < r.telemetry_rows.size(); ++i)
+    if (r.telemetry_rows[i].cycle - r.telemetry_rows[i - 1].cycle != period)
+      throw std::runtime_error("smoke: telemetry cadence broken at row " + std::to_string(i));
+  if (r.telemetry_rows.back().cycle < r.cycles)
+    throw std::runtime_error("smoke: telemetry stops before the end of the run");
+  double total_fault_rate = 0;
+  for (std::size_t c = 0; c < r.telemetry_columns.size(); ++c)
+    if (r.telemetry_columns[c].find("fault_rate") != std::string::npos)
+      for (const auto& row : r.telemetry_rows) total_fault_rate += row.values.at(c);
+  if (total_fault_rate <= 0)
+    throw std::runtime_error("smoke: telemetry fault_rate columns never saw a fault");
+  std::cout << "[smoke] telemetry: " << r.telemetry_rows.size() << " rows at period " << period
+            << ", last row at cycle " << r.telemetry_rows.back().cycle << " >= makespan "
+            << r.cycles << "\n";
+}
+
+int run_smoke(const std::string& trace_path, const std::string& telemetry_csv, u64 period) {
+  MixOptions base;  // the worked example: 4 processes, shared-priority, ra=4
+  base.processes = 4;
+  base.device = DeviceMode::kSharedPriority;
+  base.readahead = 4;
+  base.telemetry_period = period;
+
+  const MixResult control = run_mix(base);
+
+  MemorySink captured;
+  MixOptions traced = base;
+  traced.trace_path = trace_path;
+  traced.extra_sink = &captured;
+  traced.telemetry_csv = telemetry_csv;
+  const MixResult t = run_mix(traced);
+
+  // Tracing is observation only: the traced run must be bit-identical.
+  if (control.cycles != t.cycles || control.events != t.events ||
+      control.faults != t.faults || control.swap_ins != t.swap_ins ||
+      control.device_reads != t.device_reads || control.device_writes != t.device_writes)
+    throw std::runtime_error("smoke: traced run is NOT bit-identical to the untraced run");
+  std::cout << "[smoke] traced == untraced: cycles=" << t.cycles << " events=" << t.events
+            << " faults=" << t.faults << " (bit-identical)\n";
+
+  validate_spans(captured.events, t.trace_tracks, t.pager_fault_stall_max);
+  validate_telemetry(t, period);
+  if (!trace_path.empty())
+    std::cout << "[smoke] wrote " << trace_path << " (" << captured.events.size()
+              << " trace events)\n";
+  if (!telemetry_csv.empty()) std::cout << "[smoke] wrote " << telemetry_csv << "\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string trace_path;
+  std::string telemetry_csv;
+  u64 telemetry_period = 20'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "fig12: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--telemetry") telemetry_csv = value();
+    else if (arg == "--telemetry-period") telemetry_period = std::stoull(value());
+    else {
+      std::cerr << "usage: bench_fig12_shared_swap [--smoke] [--trace PATH] "
+                   "[--telemetry PATH] [--telemetry-period N]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (smoke) {
+    try {
+      return run_smoke(trace_path, telemetry_csv, telemetry_period);
+    } catch (const std::exception& e) {
+      std::cerr << "fig12 --smoke FAILED: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   determinism_gate();
 
   bench::EngineBenchReport engine;

@@ -119,6 +119,52 @@ Rate bench_event_far(u64 n) {
   return r;
 }
 
+/// Control for the tracing-overhead pair: the event-queue loop with the
+/// same body event_traced_off wraps in VMSLS_TRACE_* sites.
+Rate bench_event_trace_control(u64 n) {
+  Cycles covered = 0;
+  Rate r = measure(n, [n, &covered] {
+    sim::Simulator sim;
+    u64 sink = 0;
+    for (u64 i = 0; i < n; ++i)
+      sim.schedule_in(i % 97, [&sink] { ++sink; });
+    sim.run();
+    if (sink != n) throw std::runtime_error("trace control sink mismatch");
+    covered = sim.now();
+  });
+  r.cycles = covered;
+  return r;
+}
+
+/// Tracing-disabled overhead: identical loop plus the VMSLS_TRACE_* sites a
+/// traced component carries per event. With no sink attached each site must
+/// cost one well-predicted branch; main() gates this against the control at
+/// 20% (an in-process, machine-independent check — check_bench.py tracks
+/// the absolute rates on top).
+Rate bench_event_trace_macro_off(u64 n) {
+  Cycles covered = 0;
+  Rate r = measure(n, [n, &covered] {
+    sim::Simulator sim;
+    const sim::TraceTrack track = sim.trace().track("bench");
+    if (sim.trace().enabled())
+      throw std::runtime_error("trace sink unexpectedly attached");
+    u64 sink = 0;
+    for (u64 i = 0; i < n; ++i)
+      sim.schedule_in(i % 97, [&sim, &sink, track] {
+        const u64 id = VMSLS_TRACE_NEW_ID(sim.trace());
+        VMSLS_TRACE_BEGIN(sim.trace(), track, "ev", id);
+        ++sink;
+        VMSLS_TRACE_END(sim.trace(), track, "ev", id);
+        VMSLS_TRACE_COUNTER(sim.trace(), track, "retired", static_cast<double>(sink));
+      });
+    sim.run();
+    if (sink != n) throw std::runtime_error("traced-off sink mismatch");
+    covered = sim.now();
+  });
+  r.cycles = covered;
+  return r;
+}
+
 Rate bench_tlb_lookup(u64 n) {
   StatRegistry stats;
   mem::TlbConfig cfg;
@@ -211,6 +257,14 @@ int main() {
   row("event_queue_16k", bench_event_queue(16384));
   row("event_steady_64x4k", bench_event_steady(64, 4096));
   row("event_far_heap_4k", bench_event_far(4096));
+  {
+    const Rate ctl = bench_event_trace_control(16384);
+    const Rate off = bench_event_trace_macro_off(16384);
+    row("event_trace_ctl_16k", ctl);
+    row("event_traced_off_16k", off);
+    if (off.items_per_sec < 0.80 * ctl.items_per_sec)
+      throw std::runtime_error("tracing-disabled overhead exceeds 20% of the control rate");
+  }
   row("tlb_lookup_hit", bench_tlb_lookup(1 << 16));
   row("passthrough_translate", bench_passthrough_translate(1 << 14));
   row("engine_alu_instr", bench_engine_alu());

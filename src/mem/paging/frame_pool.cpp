@@ -24,6 +24,7 @@ FramePool::FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::strin
       evictions_(sim.stats().counter(name_ + ".evictions")),
       cross_evictions_(sim.stats().counter(name_ + ".cross_evictions")),
       rebalances_(sim.stats().counter(name_ + ".rebalances")) {
+  trace_track_ = sim_.trace().track(name_);
   // The global sweep reuses the per-process policy implementations over
   // packed (member, vpn) keys; accessed bits resolve through the owner's
   // page table.
@@ -123,12 +124,14 @@ void FramePool::note_map(const Pager& pager, u64 vpn) {
   if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(pack(member_id(pager), vpn));
   ++resident_;
   peak_resident_ = std::max(peak_resident_, resident_);
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "resident", static_cast<double>(resident_));
 }
 
 void FramePool::note_unmap(const Pager& pager, u64 vpn) {
   if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(pack(member_id(pager), vpn));
   require(resident_ > 0, "pool residency underflow");
   --resident_;
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "resident", static_cast<double>(resident_));
 }
 
 void FramePool::note_pending(i64 delta) {
@@ -139,6 +142,7 @@ void FramePool::note_pending(i64 delta) {
     require(pending_ >= d, "pool pending underflow");
     pending_ -= d;
   }
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "pending", static_cast<double>(pending_));
 }
 
 bool FramePool::over_budget() const noexcept {
@@ -162,9 +166,11 @@ std::optional<FramePool::Victim> FramePool::pick_victim() {
   return v;
 }
 
-void FramePool::record_eviction(const Pager& asking, const Pager& owner) {
+void FramePool::record_eviction(const Pager& asking, const Pager& owner, u64 trace_id) {
   evictions_.add();
   if (&asking != &owner) cross_evictions_.add();
+  VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "evict", trace_id,
+                      &asking != &owner ? 1 : 0);
 }
 
 void FramePool::note_ws_update() {

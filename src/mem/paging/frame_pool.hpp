@@ -98,8 +98,9 @@ class FramePool {
   std::optional<Victim> pick_victim();
 
   /// Caller reports the eviction it performed so cross-process pressure is
-  /// visible in the stats ("pool.cross_evictions").
-  void record_eviction(const Pager& asking, const Pager& owner);
+  /// visible in the stats ("pool.cross_evictions"). `trace_id` is the
+  /// asking fault's causal id (an "evict" instant lands on the pool track).
+  void record_eviction(const Pager& asking, const Pager& owner, u64 trace_id = 0);
 
   u64 members() const noexcept;
   u64 resident_pages() const noexcept { return resident_; }
@@ -126,6 +127,7 @@ class FramePool {
   sim::Simulator& sim_;
   FramePoolConfig cfg_;
   std::string name_;
+  sim::TraceTrack trace_track_ = 0;
   std::vector<Pager*> members_;  // index = member id; nullptr after detach
   std::unique_ptr<ReplacementPolicy> policy_;
   u64 resident_ = 0;

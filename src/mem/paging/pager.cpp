@@ -30,6 +30,7 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
       prefetch_late_(sim.stats().counter(name_ + ".prefetch_late")),
       fault_stall_(sim.stats().histogram(name_ + ".fault_stall")),
       ws_hist_(sim.stats().histogram(name_ + ".ws_pages")) {
+  trace_track_ = sim_.trace().track(name_);
   if (shared_swap != nullptr) {
     require(shared_swap->config().read_latency == cfg_.swap.read_latency &&
                 shared_swap->config().write_latency == cfg_.swap.write_latency,
@@ -119,6 +120,7 @@ void Pager::evict_resident(u64 vpn) {
   settle_speculative(vpn);
   process_.evict(vpn << page_bits(), 1);  // shoots down TLBs + flushes walk caches
   evictions_.add();
+  VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "shootdown", 0, vpn);
 }
 
 u64 Pager::pin_quota() const noexcept {
@@ -144,7 +146,7 @@ u64 Pager::pin_quota() const noexcept {
   return budget > 1 ? budget - 1 : 1;
 }
 
-void Pager::ensure_frame_available(sim::EventFn then) {
+void Pager::ensure_frame_available(u64 trace_id, sim::EventFn then) {
   // Clean victims evict in a plain loop; a dirty victim suspends the loop
   // until its writeback completes on the device port (the callback arrives
   // on a fresh stack from the event loop, so eviction bursts of any size
@@ -163,14 +165,16 @@ void Pager::ensure_frame_available(sim::EventFn then) {
       const bool dirty = owner.page_dirty(victim->vpn);
       log_debug(name_, "global evict ", owner.name_, " vpn=0x", std::hex, victim->vpn,
                 dirty ? " (dirty)" : " (clean)");
-      pool_->record_eviction(*this, owner);
+      pool_->record_eviction(*this, owner, trace_id);
       owner.evict_resident(victim->vpn);
       if (dirty) {
         owner.writebacks_.add();
+        const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
         owner.sched_->write(owner.swap_owner_, victim->vpn, SwapReqClass::kDemandWrite,
-                            [this, then = std::move(then)]() mutable {
-                              ensure_frame_available(std::move(then));
-                            });
+                            [this, trace_id, then = std::move(then)]() mutable {
+                              ensure_frame_available(trace_id, std::move(then));
+                            },
+                            wid);
         return;
       }
     }
@@ -186,10 +190,12 @@ void Pager::ensure_frame_available(sim::EventFn then) {
     evict_resident(*victim);
     if (dirty) {
       writebacks_.add();
+      const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
       sched_->write(swap_owner_, *victim, SwapReqClass::kDemandWrite,
-                    [this, then = std::move(then)]() mutable {
-                      ensure_frame_available(std::move(then));
-                    });
+                    [this, trace_id, then = std::move(then)]() mutable {
+                      ensure_frame_available(trace_id, std::move(then));
+                    },
+                    wid);
       return;
     }
   }
@@ -197,9 +203,12 @@ void Pager::ensure_frame_available(sim::EventFn then) {
 }
 
 void Pager::complete_fault(u64 vpn, Cycles start, sim::EventFn& ready) {
-  auto waiters = std::move(inflight_faults_[vpn]);
+  InflightFault& entry = inflight_faults_[vpn];
+  const u64 fid = entry.trace_id;
+  auto waiters = std::move(entry.waiters);
   inflight_faults_.erase(vpn);
   fault_stall_.record(sim_.now() - start);
+  VMSLS_TRACE_END(sim_.trace(), trace_track_, "fault", fid, vpn);
   ready();
   for (auto& w : waiters) w();
 }
@@ -226,23 +235,31 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
     if (inflight_prefetch_.count(vpn) != 0) {
       // Late exactly once per prefetched page, however many faults pile
       // onto it — the accuracy ratio divides by prefetches issued.
-      if (it->second.empty()) prefetch_late_.add();
+      if (it->second.waiters.empty()) prefetch_late_.add();
       // If the prefetch read is still queued, it now blocks a real thread:
       // upgrade it to demand class so priority dispatch stops bypassing it.
       sched_->promote(swap_owner_, vpn);
     }
-    it->second.push_back([this, ready = std::move(ready), start]() mutable {
+    VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "coalesce", it->second.trace_id, vpn);
+    it->second.waiters.push_back([this, ready = std::move(ready), start]() mutable {
       fault_stall_.record(sim_.now() - start);
       ready();
     });
     return;
   }
-  inflight_faults_.emplace(vpn, std::vector<sim::EventFn>{});
+  // One causal id per primary fault, threaded through frame reservation,
+  // victim eviction, the swap queue, and the device transfer — so the
+  // "fault" span decomposes exactly into "evict" + "queue" + "io".
+  const u64 fid = VMSLS_TRACE_NEW_ID(sim_.trace());
+  inflight_faults_.emplace(vpn, InflightFault{fid, {}});
   // The vpn can already be pending: a prior fault's `ready` fired (erasing
   // its inflight entry) but the OS tail has not mapped the page yet. The
   // reservation is then already counted — don't count it twice.
   if (pending_maps_.insert(vpn).second && pool_) pool_->note_pending(+1);
-  ensure_frame_available([this, va, vpn, ready = std::move(ready), start]() mutable {
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "fault", fid, vpn);
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "evict", fid, vpn);
+  ensure_frame_available(fid, [this, va, vpn, fid, ready = std::move(ready), start]() mutable {
+    VMSLS_TRACE_END(sim_.trace(), trace_track_, "evict", fid, vpn);
     // A concurrent fault may have brought the page in already — don't pay
     // (or serialize on) a second device read for a resident page.
     if (!as_.is_mapped(va) && sched_->holds(swap_owner_, vpn)) {
@@ -251,11 +268,13 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
       // dispatch as one clustered device operation (one access latency for
       // the whole neighborhood) whenever the port is free — and otherwise
       // merge at dispatch time with any queued same-cluster reads.
-      sched_->batched([this, vpn, &ready, start] {
-        sched_->read(swap_owner_, vpn, SwapReqClass::kDemandRead,
-                     [this, vpn, ready = std::move(ready), start]() mutable {
-                       complete_fault(vpn, start, ready);
-                     });
+      sched_->batched([this, vpn, fid, &ready, start] {
+        sched_->read(
+            swap_owner_, vpn, SwapReqClass::kDemandRead,
+            [this, vpn, ready = std::move(ready), start]() mutable {
+              complete_fault(vpn, start, ready);
+            },
+            fid);
         issue_readahead(vpn);
       });
     } else {
@@ -297,18 +316,21 @@ void Pager::start_prefetch(u64 vpn) {
   // pending_maps_ (so concurrent demand faults cannot double-spend it) and
   // registers in inflight_faults_ (so a demand fault on the page coalesces
   // onto this read instead of issuing a second one).
-  inflight_faults_.emplace(vpn, std::vector<sim::EventFn>{});
+  const u64 pid = VMSLS_TRACE_NEW_ID(sim_.trace());
+  inflight_faults_.emplace(vpn, InflightFault{pid, {}});
   inflight_prefetch_.insert(vpn);
   if (pending_maps_.insert(vpn).second && pool_) pool_->note_pending(+1);
   prefetches_.add();
   log_debug(name_, "prefetch vpn=0x", std::hex, vpn);
-  sched_->read(swap_owner_, vpn, SwapReqClass::kPrefetchRead,
-               [this, vpn] { finish_prefetch(vpn); });
+  VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "prefetch", pid, vpn);
+  sched_->read(
+      swap_owner_, vpn, SwapReqClass::kPrefetchRead, [this, vpn] { finish_prefetch(vpn); },
+      pid);
 }
 
 void Pager::finish_prefetch(u64 vpn) {
   inflight_prefetch_.erase(vpn);
-  auto waiters = std::move(inflight_faults_[vpn]);
+  auto waiters = std::move(inflight_faults_[vpn].waiters);
   inflight_faults_.erase(vpn);
   // Land resident-clean: map_page installs the PTE with accessed and dirty
   // both clear and fills the frame from the backing store — on_map clears
@@ -413,7 +435,8 @@ void Pager::pageout_tick() {
           if (cleaned >= cfg_.pageout_batch) return;
           if (as_.is_pinned_vpn(vpn)) return;  // in-flight access may re-dirty it
           if (as_.page_table().test_and_clear_dirty(vpn << page_bits())) {
-            sched_->write(swap_owner_, vpn, SwapReqClass::kWriteback, [] {});
+            sched_->write(swap_owner_, vpn, SwapReqClass::kWriteback, [] {},
+                          VMSLS_TRACE_NEW_ID(sim_.trace()));
             pageouts_.add();
             ++cleaned;
           }

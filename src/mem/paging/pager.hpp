@@ -206,7 +206,11 @@ class Pager final : public mem::ResidencyObserver {
  private:
   friend class FramePool;  // attach/detach set pool_
 
-  void ensure_frame_available(sim::EventFn then);
+  /// `trace_id` is the asking fault's causal id: it labels pool eviction
+  /// instants, while each dirty writeback issued here gets a fresh id of
+  /// its own (a writeback is a distinct device request with its own
+  /// queue/io spans).
+  void ensure_frame_available(u64 trace_id, sim::EventFn then);
   void complete_fault(u64 vpn, Cycles start, sim::EventFn& ready);
   /// Issues prefetch-class reads for the demand swap-in's slot neighbors
   /// that fit under free budget headroom.
@@ -229,6 +233,7 @@ class Pager final : public mem::ResidencyObserver {
   mem::AddressSpace& as_;
   PagerConfig cfg_;
   std::string name_;
+  sim::TraceTrack trace_track_ = 0;
   std::unique_ptr<SwapScheduler> owned_swap_;  // private front end (no shared device)
   SwapScheduler* sched_ = nullptr;             // owned_swap_ or the group's shared scheduler
   unsigned swap_owner_ = 0;
@@ -243,7 +248,13 @@ class Pager final : public mem::ResidencyObserver {
   /// from the moment the first fault passes the residency check until its
   /// `ready` fires. In-flight prefetches register here too, so demand
   /// faults coalesce onto them instead of double-reading the device.
-  std::unordered_map<u64, std::vector<sim::EventFn>> inflight_faults_;
+  /// `trace_id` is the primary fault's (or prefetch's) causal id, shared by
+  /// the coalesce instants and the span end.
+  struct InflightFault {
+    u64 trace_id = 0;
+    std::vector<sim::EventFn> waiters;
+  };
+  std::unordered_map<u64, InflightFault> inflight_faults_;
   /// Pages a fault has reserved a frame for but not yet mapped. Counted
   /// against the budget so concurrent faults cannot double-spend one freed
   /// frame; entries clear when the page maps (on_map).

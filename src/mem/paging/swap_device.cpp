@@ -24,6 +24,7 @@ SwapDevice::SwapDevice(sim::Simulator& sim, const SwapConfig& cfg, u64 page_byte
       bytes_(sim.stats().counter(name_ + ".bytes")) {
   require(cfg.bytes_per_cycle > 0, "swap device needs nonzero bandwidth");
   require(page_bytes > 0, "swap device needs a page size");
+  trace_track_ = sim_.trace().track(name_);
 }
 
 void SwapDevice::issue(Cycles latency, u64 bytes, sim::EventFn done) {
@@ -46,6 +47,8 @@ void SwapDevice::read_page(u64 vpn, sim::EventFn done) {
   reads_.add();
   issue(cfg_.read_latency, page_bytes_, [this, vpn, done = std::move(done)]() mutable {
     slots_.erase(vpn);
+    VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "slots_in_use",
+                        static_cast<double>(slots_.size()));
     done();
   });
 }
@@ -58,6 +61,8 @@ void SwapDevice::read_pages(const std::vector<u64>& vpns, sim::EventFn done) {
   issue(cfg_.read_latency, vpns.size() * page_bytes_,
         [this, vpns, done = std::move(done)]() mutable {
           for (const u64 vpn : vpns) slots_.erase(vpn);
+          VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "slots_in_use",
+                              static_cast<double>(slots_.size()));
           done();
         });
 }
@@ -67,6 +72,8 @@ void SwapDevice::note_swapped(u64 vpn) {
     throw std::runtime_error(name_ + ": swap device out of slots (" +
                              std::to_string(slots_.size()) + " allocated, limit " +
                              std::to_string(cfg_.slot_limit) + ")");
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "slots_in_use",
+                      static_cast<double>(slots_.size()));
 }
 
 }  // namespace vmsls::paging

@@ -116,6 +116,7 @@ class SwapDevice {
   SwapConfig cfg_;
   u64 page_bytes_;
   std::string name_;
+  sim::TraceTrack trace_track_ = 0;
   std::unordered_set<u64> slots_;
   Cycles port_free_ = 0;
 

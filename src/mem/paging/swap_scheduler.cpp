@@ -40,6 +40,7 @@ SwapScheduler::SwapScheduler(sim::Simulator& sim, const SwapConfig& cfg, u64 pag
   require(cfg.cluster_pages > 0, "swap scheduler needs a nonzero cluster size");
   require(cfg.writeback_starvation_limit > 0,
           "swap scheduler needs a nonzero writeback starvation limit");
+  trace_track_ = sim_.trace().track(name_);
 }
 
 unsigned SwapScheduler::register_owner(const std::string& owner_name) {
@@ -120,7 +121,8 @@ void SwapScheduler::note_swapped(unsigned owner, u64 vpn) {
   device_.note_swapped(key);
 }
 
-void SwapScheduler::read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done) {
+void SwapScheduler::read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done,
+                         u64 trace_id) {
   require(cls == SwapReqClass::kDemandRead || cls == SwapReqClass::kPrefetchRead,
           name_ + ": reads must be demand or prefetch class");
   const u64 key = pack(owner, vpn);
@@ -132,13 +134,18 @@ void SwapScheduler::read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn
   r.key = key;
   r.cls = cls;
   r.enqueued = sim_.now();
+  r.trace_id = trace_id;
   r.done = std::move(done);
   queue_depth_.record(queue_.size());
   queue_.push_back(std::move(r));
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "queue", trace_id, vpn);
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "queue_depth",
+                      static_cast<double>(queue_.size()));
   pump();
 }
 
-void SwapScheduler::write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done) {
+void SwapScheduler::write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done,
+                          u64 trace_id) {
   require(is_write_class(cls), name_ + ": writes must be demand-write or writeback class");
   note_swapped(owner, vpn);  // slot allocated at enqueue: holds() is true at once
   Request r;
@@ -146,9 +153,13 @@ void SwapScheduler::write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventF
   r.key = pack(owner, vpn);
   r.cls = cls;
   r.enqueued = sim_.now();
+  r.trace_id = trace_id;
   r.done = std::move(done);
   queue_depth_.record(queue_.size());
   queue_.push_back(std::move(r));
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "queue", trace_id, vpn);
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "queue_depth",
+                      static_cast<double>(queue_.size()));
   pump();
 }
 
@@ -174,6 +185,8 @@ std::size_t SwapScheduler::select_next() {
     wb_bypassed_ = 0;  // the oldest request is being served anyway
   } else if (++wb_bypassed_ >= cfg_.writeback_starvation_limit) {
     wb_promotions_.add();
+    VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "wb_promotion", queue_.front().trace_id,
+                        class_rank(queue_.front().cls));
     best = 0;
     wb_bypassed_ = 0;
   }
@@ -186,6 +199,7 @@ void SwapScheduler::promote(unsigned owner, u64 vpn) {
     if (r.key == key && r.cls == SwapReqClass::kPrefetchRead) {
       r.cls = SwapReqClass::kDemandRead;
       prefetch_promotions_.add();
+      VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "promote", r.trace_id, vpn);
       return;
     }
   }
@@ -238,14 +252,19 @@ void SwapScheduler::dispatch(std::vector<Request> batch) {
       (r.cls == SwapReqClass::kDemandRead ? demand_reads_ : prefetch_reads_).add();
       if (o.reads != nullptr) o.reads->add();
     }
+    VMSLS_TRACE_END(sim_.trace(), trace_track_, "queue", r.trace_id, r.key);
+    VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "io", r.trace_id, class_rank(r.cls));
   }
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "queue_depth",
+                      static_cast<double>(queue_.size()));
   // Completion order: free the port and dispatch the next queued request
   // *before* running the requesters' continuations — a continuation that
   // immediately enqueues (fault chains do) must queue behind work that was
   // already waiting. Within a batch, continuations fire in batch order
   // (selected request first).
   if (is_write_class(batch[0].cls)) {
-    auto finish = [this, done = std::move(batch[0].done)]() mutable {
+    auto finish = [this, tid = batch[0].trace_id, done = std::move(batch[0].done)]() mutable {
+      VMSLS_TRACE_END(sim_.trace(), trace_track_, "io", tid);
       in_flight_ = false;
       pump();
       done();
@@ -255,18 +274,32 @@ void SwapScheduler::dispatch(std::vector<Request> batch) {
   }
   std::vector<u64> keys;
   keys.reserve(batch.size());
+  std::vector<u64> ids;  // trace ids, batch order; empty while untraced
+  if (sim_.trace().enabled()) {
+    ids.reserve(batch.size());
+    for (const Request& r : batch) ids.push_back(r.trace_id);
+  }
   std::vector<sim::EventFn> dones;
   dones.reserve(batch.size());
   for (Request& r : batch) {
     keys.push_back(r.key);
     dones.push_back(std::move(r.done));
   }
-  device_.read_pages(keys, [this, keys, dones = std::move(dones)]() mutable {
+  device_.read_pages(keys, [this, keys, ids = std::move(ids),
+                            dones = std::move(dones)]() mutable {
+    for (const u64 id : ids) VMSLS_TRACE_END(sim_.trace(), trace_track_, "io", id);
     for (const u64 key : keys) free_slot(key);
     in_flight_ = false;
     pump();
     for (auto& done : dones) done();
   });
+}
+
+u64 SwapScheduler::queue_depth_class(SwapReqClass cls) const noexcept {
+  u64 n = 0;
+  for (const Request& r : queue_)
+    if (r.cls == cls) ++n;
+  return n;
 }
 
 std::vector<u64> SwapScheduler::neighbors(unsigned owner, u64 vpn, unsigned k) const {

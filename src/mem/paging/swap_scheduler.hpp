@@ -78,8 +78,9 @@ class SwapScheduler {
   /// read dispatches, any other queued reads on slots in the SAME cluster
   /// region ride along as one clustered device operation (one access
   /// latency, streamed bytes) — this is what makes readahead nearly free
-  /// next to the demand read it follows.
-  void read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done);
+  /// next to the demand read it follows. `trace_id` threads the requester's
+  /// causal id through the "queue" and "io" trace spans (0 = untraced).
+  void read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done, u64 trace_id = 0);
 
   /// Runs `fill` with dispatch deferred, then pumps once: requests enqueued
   /// inside land in the queue atomically, so a demand read and its
@@ -90,7 +91,7 @@ class SwapScheduler {
   /// Queues a timed page write (swap-out / writeback); `cls` must be
   /// kDemandWrite (fault-path eviction) or kWriteback (background
   /// cleaning). Allocates a slot at enqueue so holds() is immediately true.
-  void write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done);
+  void write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn done, u64 trace_id = 0);
 
   /// Upgrades a *queued* prefetch read for the page to demand class (a
   /// demand fault coalesced onto it): the waiter is now a stalled thread,
@@ -112,6 +113,9 @@ class SwapScheduler {
   u64 writes() const noexcept { return device_.writes(); }
   u64 slots_in_use() const noexcept { return device_.slots_in_use(); }
   u64 queue_depth() const noexcept { return queue_.size(); }
+  /// Queued requests of one class (telemetry probe; linear scan — swap
+  /// queues are short).
+  u64 queue_depth_class(SwapReqClass cls) const noexcept;
   u64 owners() const noexcept { return static_cast<u64>(owners_.size()); }
   u64 owner_reads(unsigned owner) const;
   u64 owner_writes(unsigned owner) const;
@@ -125,6 +129,7 @@ class SwapScheduler {
     u64 key = 0;
     SwapReqClass cls = SwapReqClass::kDemandRead;
     Cycles enqueued = 0;
+    u64 trace_id = 0;  // requester's causal trace id (0 = untraced)
     sim::EventFn done;
   };
 
@@ -152,6 +157,7 @@ class SwapScheduler {
   SwapConfig cfg_;
   std::string name_;
   SwapDevice device_;
+  sim::TraceTrack trace_track_ = 0;
   std::vector<Owner> owners_;
 
   std::deque<Request> queue_;

@@ -35,13 +35,16 @@ FaultHandler::FaultHandler(sim::Simulator& sim, OsModel& os, Process& process, s
       process_(process),
       name_(std::move(name)),
       faults_(sim.stats().counter(name_ + ".faults")),
-      latency_(sim.stats().histogram(name_ + ".latency")) {}
+      latency_(sim.stats().histogram(name_ + ".latency")) {
+  trace_track_ = sim_.trace().track(name_);
+}
 
-void FaultHandler::finish_fault(mem::FaultRequest req, Cycles raised_at) {
+void FaultHandler::finish_fault(mem::FaultRequest req, Cycles raised_at, u64 trace_id) {
   auto& space = process_.address_space();
   // Another thread may have faulted the same page in meanwhile.
   if (!space.is_mapped(req.va)) space.map_page(req.va, /*writable=*/true);
   latency_.record(sim_.now() - raised_at);
+  VMSLS_TRACE_END(sim_.trace(), trace_track_, "service", trace_id, req.va);
   req.retry();
 }
 
@@ -50,6 +53,11 @@ void FaultHandler::raise(mem::FaultRequest req) {
   log_debug(name_, "page fault: thread ", req.thread_id, " va=0x", std::hex, req.va,
             req.is_write ? " (write)" : " (read)");
   const Cycles raised_at = sim_.now();
+  // "service" spans the whole kernel trip — raise to retry — while the
+  // pager's "fault" span inside it covers only the VM work after the irq +
+  // fault-service cost lands the fault on a core.
+  const u64 fid = VMSLS_TRACE_NEW_ID(sim_.trace());
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "service", fid, req.va);
   const auto& cfg = os_.config();
   const Cycles copy_cost =
       process_.address_space().page_bytes() / std::max(1u, cfg.copy_bytes_per_cycle);
@@ -57,8 +65,8 @@ void FaultHandler::raise(mem::FaultRequest req) {
   if (pager_ == nullptr) {
     // Pressure-free path: the whole kernel VM trip runs on a service core.
     os_.exec_service(cfg.irq_latency + cfg.fault_service + post,
-                     [this, req = std::move(req), raised_at]() mutable {
-      finish_fault(std::move(req), raised_at);
+                     [this, req = std::move(req), raised_at, fid]() mutable {
+      finish_fault(std::move(req), raised_at, fid);
     });
     return;
   }
@@ -66,13 +74,13 @@ void FaultHandler::raise(mem::FaultRequest req) {
   // the swap-in wait happen off-core on the swap device's port; then the
   // map/copy/response tail re-acquires a core once the frame is secured.
   os_.exec_service(cfg.irq_latency + cfg.fault_service,
-                   [this, req = std::move(req), raised_at, post]() mutable {
+                   [this, req = std::move(req), raised_at, post, fid]() mutable {
     const VirtAddr va = req.va;
     const bool is_write = req.is_write;
     pager_->handle_fault(va, is_write,
-                         [this, req = std::move(req), raised_at, post]() mutable {
-      os_.exec_service(post, [this, req = std::move(req), raised_at]() mutable {
-        finish_fault(std::move(req), raised_at);
+                         [this, req = std::move(req), raised_at, post, fid]() mutable {
+      os_.exec_service(post, [this, req = std::move(req), raised_at, fid]() mutable {
+        finish_fault(std::move(req), raised_at, fid);
       });
     });
   });

@@ -87,13 +87,14 @@ class FaultHandler final : public mem::FaultSink {
  private:
   /// Shared fault completion: maps the page if still unmapped, records the
   /// service latency, and retries the faulting access. Callers charge the
-  /// time first.
-  void finish_fault(mem::FaultRequest req, Cycles raised_at);
+  /// time first. `trace_id` closes the "service" span raise() opened.
+  void finish_fault(mem::FaultRequest req, Cycles raised_at, u64 trace_id);
 
   sim::Simulator& sim_;
   OsModel& os_;
   Process& process_;
   std::string name_;
+  sim::TraceTrack trace_track_ = 0;
   paging::Pager* pager_ = nullptr;
   Counter& faults_;
   Histogram& latency_;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sim/event_fn.hpp"
+#include "sim/trace.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -77,6 +78,11 @@ class Simulator {
   /// Shared statistics registry for all components in this simulation.
   StatRegistry& stats() noexcept { return stats_; }
   const StatRegistry& stats() const noexcept { return stats_; }
+
+  /// Cycle-domain trace state (see sim/trace.hpp). Disabled until a sink is
+  /// attached; components register tracks here at construction.
+  TraceContext& trace() noexcept { return trace_; }
+  const TraceContext& trace() const noexcept { return trace_; }
 
  private:
   struct EventNode {
@@ -128,6 +134,7 @@ class Simulator {
   u64 next_seq_ = 0;
   u64 events_executed_ = 0;
   StatRegistry stats_;
+  TraceContext trace_{&now_};
 };
 
 }  // namespace vmsls::sim

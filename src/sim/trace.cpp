@@ -1,0 +1,116 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmsls::sim {
+
+TraceTrack TraceContext::track(const std::string& name) {
+  const auto it = std::find(tracks_.begin(), tracks_.end(), name);
+  if (it != tracks_.end()) return static_cast<TraceTrack>(it - tracks_.begin());
+  tracks_.push_back(name);
+  return static_cast<TraceTrack>(tracks_.size() - 1);
+}
+
+namespace {
+// Escapes the characters that can plausibly appear in component/track names;
+// everything else in the writer is numeric or a literal.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << *s; break;
+    }
+  }
+}
+}  // namespace
+
+JsonTraceWriter::JsonTraceWriter(const std::string& path) : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("JsonTraceWriter: cannot open " + path);
+  write_prefix();
+}
+
+JsonTraceWriter::JsonTraceWriter(std::ostream& os) : out_(&os) { write_prefix(); }
+
+JsonTraceWriter::~JsonTraceWriter() {
+  // Close the array even if the harness forgot finish(); metadata needs the
+  // context, so an un-finished trace just lacks track names.
+  if (!finished_) {
+    *out_ << "\n]\n";
+    finished_ = true;
+  }
+}
+
+void JsonTraceWriter::write_prefix() { *out_ << "[\n"; }
+
+void JsonTraceWriter::on_event(const TraceContext& ctx, const TraceEvent& ev) {
+  if (finished_) return;
+  const std::string& track = ctx.track_name(ev.track);
+  if (std::find(seen_tracks_.begin(), seen_tracks_.end(), track) == seen_tracks_.end())
+    seen_tracks_.push_back(track);
+
+  std::ostream& os = *out_;
+  if (!first_) os << ",\n";
+  first_ = false;
+
+  // Common prefix: pid 1, tid = track index + 1 (Perfetto dislikes tid 0),
+  // ts = simulated cycles (rendered by the UI as microseconds).
+  os << "{\"pid\":1,\"tid\":" << (ev.track + 1) << ",\"ts\":" << ev.ts << ",\"name\":\"";
+  write_escaped(os, ev.name);
+  os << "\",";
+
+  switch (ev.kind) {
+    case TraceEvent::Kind::kBegin:
+    case TraceEvent::Kind::kEnd:
+      // Legacy async events group by (pid, cat, id): using the track name as
+      // cat keeps each component's spans on its own async track in the UI.
+      os << "\"cat\":\"";
+      write_escaped(os, track.c_str());
+      os << "\",\"ph\":\"" << (ev.kind == TraceEvent::Kind::kBegin ? 'b' : 'e')
+         << "\",\"id\":" << ev.id << ",\"args\":{\"aux\":" << ev.aux << "}}";
+      break;
+    case TraceEvent::Kind::kInstant:
+      os << "\"cat\":\"";
+      write_escaped(os, track.c_str());
+      os << "\",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"id\":" << ev.id << ",\"aux\":" << ev.aux
+         << "}}";
+      break;
+    case TraceEvent::Kind::kCounter:
+      // Counter tracks are global per (pid, name): prefix the component so
+      // pager[0].queue_depth and pager[1].queue_depth stay separate tracks.
+      os << "\"cat\":\"counter\",\"ph\":\"C\",\"args\":{\"";
+      write_escaped(os, track.c_str());
+      os << ".";
+      write_escaped(os, ev.name);
+      os << "\":" << ev.value << "}}";
+      break;
+  }
+  ++events_;
+}
+
+void JsonTraceWriter::finish(const TraceContext& ctx) {
+  if (finished_) return;
+  std::ostream& os = *out_;
+  for (const std::string& track : seen_tracks_) {
+    const auto idx = std::find(ctx.track_names().begin(), ctx.track_names().end(), track) -
+                     ctx.track_names().begin();
+    if (!first_) os << ",\n";
+    first_ = false;
+    os << "{\"pid\":1,\"tid\":" << (idx + 1)
+       << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    write_escaped(os, track.c_str());
+    os << "\"}}";
+  }
+  if (!first_) os << ",\n";
+  first_ = false;
+  os << "{\"pid\":1,\"tid\":1,\"ph\":\"M\",\"name\":\"process_name\","
+        "\"args\":{\"name\":\"vmsls\"}}";
+  os << "\n]\n";
+  os.flush();
+  finished_ = true;
+}
+
+}  // namespace vmsls::sim

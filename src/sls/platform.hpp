@@ -20,6 +20,7 @@
 #include "mem/tlb.hpp"
 #include "mem/walker.hpp"
 #include "rt/os.hpp"
+#include "sim/telemetry.hpp"
 #include "sls/resources.hpp"
 
 namespace vmsls::sls {
@@ -51,6 +52,11 @@ struct PlatformSpec {
   /// mode/costs. `offload.mode` is the DSE's offload-mode axis.
   dma::DmaConfig dma{};
   dma::OffloadConfig offload{};
+  /// Periodic pressure telemetry (see sim/telemetry.hpp): a ProcessGroup
+  /// with `telemetry.period > 0` samples pool residency, free frames, swap
+  /// queue depths, and per-process fault/prefetch pressure every period
+  /// cycles. 0 (the default) elides the sampler entirely.
+  sim::TelemetryConfig telemetry{};
 
   Addr ctrl_base = 0x4000'0000;  // control-register window (metadata only)
   u64 ctrl_stride = 0x1000;

@@ -20,6 +20,31 @@ ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
   // swap traffic queues against each other like bus traffic does.
   if (platform_.pager.swap.shared)
     swap_ = std::make_unique<paging::SwapScheduler>(sim_, platform_.pager.swap, page, "swap");
+  if (platform_.telemetry.period > 0) {
+    telemetry_ = std::make_unique<sim::TelemetrySampler>(sim_, platform_.telemetry.period);
+    telemetry_->trace_counters = platform_.telemetry.trace_counters;
+    telemetry_->add_probe("pool.resident",
+                          [this] { return static_cast<double>(pool_->resident_pages()); });
+    telemetry_->add_probe("pool.pending",
+                          [this] { return static_cast<double>(pool_->pending_pages()); });
+    telemetry_->add_probe("frames.free",
+                          [this] { return static_cast<double>(frames_->free_frames()); });
+    if (swap_ != nullptr) {
+      using paging::SwapReqClass;
+      telemetry_->add_probe("swap.q_demand_read", [this] {
+        return static_cast<double>(swap_->queue_depth_class(SwapReqClass::kDemandRead));
+      });
+      telemetry_->add_probe("swap.q_demand_write", [this] {
+        return static_cast<double>(swap_->queue_depth_class(SwapReqClass::kDemandWrite));
+      });
+      telemetry_->add_probe("swap.q_prefetch_read", [this] {
+        return static_cast<double>(swap_->queue_depth_class(SwapReqClass::kPrefetchRead));
+      });
+      telemetry_->add_probe("swap.q_writeback", [this] {
+        return static_cast<double>(swap_->queue_depth_class(SwapReqClass::kWriteback));
+      });
+    }
+  }
 }
 
 System& ProcessGroup::add_process(const SystemImage& image, const std::string& instance) {
@@ -38,11 +63,31 @@ System& ProcessGroup::add_process(const SystemImage& image, const std::string& i
   shared.swap = swap_.get();
   systems_.push_back(image.elaborate(sim_, shared, instance));
   instances_.push_back(instance);
-  return *systems_.back();
+  System& sys = *systems_.back();
+  if (telemetry_ != nullptr) {
+    // Per-process pressure columns. Counter/histogram references are
+    // registry-stable, and sys outlives the group, so the lambdas are safe.
+    const std::string inst = sys.instance();  // includes the trailing '.'
+    mem::AddressSpace& as = sys.address_space();
+    telemetry_->add_probe(inst + "resident",
+                          [&as] { return static_cast<double>(as.resident_pages()); });
+    const Counter& faults = sim_.stats().counter(inst + "faults.faults");
+    telemetry_->add_rate_probe(inst + "fault_rate",
+                               [&faults] { return static_cast<double>(faults.value()); });
+    if (paging::Pager* pager = sys.pager(); pager != nullptr) {
+      telemetry_->add_probe(inst + "prefetch_acc", [pager] {
+        const u64 issued = std::max<u64>(1, pager->prefetches());
+        return static_cast<double>(pager->prefetch_useful() + pager->prefetch_late()) /
+               static_cast<double>(issued);
+      });
+    }
+  }
+  return sys;
 }
 
 void ProcessGroup::start_all() {
   for (auto& s : systems_) s->start_all();
+  if (telemetry_ != nullptr && !telemetry_->armed()) telemetry_->start();
 }
 
 bool ProcessGroup::all_halted() const noexcept {

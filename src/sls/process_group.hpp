@@ -50,6 +50,12 @@ class ProcessGroup {
   /// pages against a private device.
   paging::SwapScheduler* shared_swap() noexcept { return swap_.get(); }
 
+  /// The group's pressure time-series sampler, present when the platform
+  /// sets `telemetry.period > 0`; probes cover the pool, the frame
+  /// allocator, the shared swap queue (per class), and every process added
+  /// so far. start_all() arms it.
+  sim::TelemetrySampler* telemetry() noexcept { return telemetry_.get(); }
+
   void start_all();
   bool all_halted() const noexcept;
 
@@ -67,6 +73,7 @@ class ProcessGroup {
   std::unique_ptr<rt::OsModel> os_;
   std::unique_ptr<paging::FramePool> pool_;
   std::unique_ptr<paging::SwapScheduler> swap_;
+  std::unique_ptr<sim::TelemetrySampler> telemetry_;
   std::vector<std::unique_ptr<System>> systems_;
   std::vector<std::string> instances_;
 };

@@ -6,7 +6,10 @@ namespace vmsls {
 
 void Histogram::record(u64 value) noexcept {
   unsigned bucket = value == 0 ? 0 : log2i(value) + 1;
-  if (bucket >= buckets_.size()) bucket = static_cast<unsigned>(buckets_.size()) - 1;
+  if (bucket >= buckets_.size()) {
+    bucket = static_cast<unsigned>(buckets_.size()) - 1;
+    ++overflow_;
+  }
   ++buckets_[bucket];
   ++count_;
   sum_ += value;
@@ -31,6 +34,7 @@ void Histogram::reset() noexcept {
   sum_ = 0;
   min_ = ~0ull;
   max_ = 0;
+  overflow_ = 0;
 }
 
 StatRegistry::StatRegistry() {
@@ -55,6 +59,10 @@ std::map<std::string, double> StatRegistry::snapshot() const {
     out[name + ".count"] = static_cast<double>(h.count());
     out[name + ".mean"] = h.mean();
     out[name + ".max"] = static_cast<double>(h.max());
+    out[name + ".p50"] = static_cast<double>(h.percentile(0.50));
+    out[name + ".p95"] = static_cast<double>(h.percentile(0.95));
+    out[name + ".p99"] = static_cast<double>(h.percentile(0.99));
+    out[name + ".overflow"] = static_cast<double>(h.overflow());
   }
   return out;
 }

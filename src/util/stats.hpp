@@ -38,6 +38,9 @@ class Histogram {
   u64 sum() const noexcept { return sum_; }
   u64 min() const noexcept { return count_ == 0 ? 0 : min_; }
   u64 max() const noexcept { return max_; }
+  /// Samples clipped into the last bucket because they exceeded its lower
+  /// bound — nonzero means the configured bucket count truncates the tail.
+  u64 overflow() const noexcept { return overflow_; }
   double mean() const noexcept { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
 
   /// Value below which `q` (0..1) of the samples fall, resolved to bucket
@@ -53,6 +56,7 @@ class Histogram {
   u64 sum_ = 0;
   u64 min_ = ~0ull;
   u64 max_ = 0;
+  u64 overflow_ = 0;
 };
 
 /// Flat registry mapping "component.stat" names to counters/histograms.
@@ -73,7 +77,8 @@ class StatRegistry {
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// Snapshot of all counter values (histograms contribute .count/.mean/.max).
+  /// Snapshot of all counter values (histograms contribute
+  /// .count/.mean/.max/.p50/.p95/.p99/.overflow).
   /// Returned map is ordered by name — deterministic for reports and tests.
   std::map<std::string, double> snapshot() const;
 

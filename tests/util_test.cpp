@@ -175,6 +175,48 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.sum(), 0u);
 }
 
+TEST(Histogram, ResetRestoresExtremaTracking) {
+  // Regression: reset() must re-seed min/max/sum, not just the buckets — a
+  // stale min would survive into the next measurement interval.
+  Histogram h;
+  h.record(5);
+  h.reset();
+  h.record(100);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, OverflowCountsClippedSamples) {
+  // 4 buckets cover 0, 1, 2-3, 4-7; values >= 8 clip into the last bucket
+  // and must be counted as overflow (4-7 land there legitimately).
+  Histogram h(4);
+  h.record(4);
+  h.record(7);
+  EXPECT_EQ(h.overflow(), 0u);
+  h.record(8);
+  h.record(1000);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets().back(), 4u);  // clipped samples still counted there
+  h.reset();
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatRegistry, SnapshotIncludesPercentilesAndOverflow) {
+  StatRegistry reg;
+  auto& h = reg.histogram("h");
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("h.p50"), static_cast<double>(h.percentile(0.50)));
+  EXPECT_EQ(snap.at("h.p95"), static_cast<double>(h.percentile(0.95)));
+  EXPECT_EQ(snap.at("h.p99"), static_cast<double>(h.percentile(0.99)));
+  EXPECT_LE(snap.at("h.p50"), snap.at("h.p95"));
+  EXPECT_LE(snap.at("h.p95"), snap.at("h.p99"));
+  EXPECT_EQ(snap.at("h.overflow"), 0.0);
+}
+
 TEST(StatRegistry, CountersByName) {
   StatRegistry reg;
   reg.counter("a.hits").add(3);

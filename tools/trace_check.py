@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a vmsls Perfetto/Chrome trace_event JSON file.
+
+Checks, beyond `python3 -m json.tool`-style well-formedness:
+  - the file is a JSON array (or an object with a "traceEvents" array);
+  - every event row carries the required keys for its phase;
+  - async spans balance: per (cat, id, name) key every "b" has a matching
+    "e", ends never precede begins, and nothing is left open at EOF;
+  - timestamps are non-negative integers (simulated cycles).
+
+Usage: trace_check.py TRACE.json
+Exits nonzero with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+from collections import Counter
+
+
+def fail(msg: str) -> None:
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        fail("top level is neither an array nor an object with 'traceEvents'")
+    if not events:
+        fail("trace contains no events")
+
+    open_spans = Counter()
+    spans = instants = counters = metadata = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev:
+            fail(f"event {i} lacks 'ph'/'name'")
+        if ph == "M":
+            metadata += 1
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"event {i} ('{ev['name']}') has bad ts {ts!r}")
+        if ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"), ev["name"])
+            if None in key:
+                fail(f"span event {i} lacks 'cat'/'id'")
+            if ph == "b":
+                open_spans[key] += 1
+                spans += 1
+            else:
+                open_spans[key] -= 1
+                if open_spans[key] < 0:
+                    fail(f"event {i}: end before begin for {key}")
+        elif ph == "i":
+            instants += 1
+        elif ph == "C":
+            if not ev.get("args"):
+                fail(f"counter event {i} has no args")
+            counters += 1
+        else:
+            fail(f"event {i} has unknown phase {ph!r}")
+
+    dangling = {k: n for k, n in open_spans.items() if n != 0}
+    if dangling:
+        fail(f"{len(dangling)} span key(s) left open at EOF, e.g. {next(iter(dangling))}")
+    if spans == 0:
+        fail("trace contains no spans")
+    if metadata == 0:
+        fail("trace contains no track metadata (finish() never ran?)")
+    print(
+        f"trace_check: OK — {len(events)} events: {spans} spans, "
+        f"{instants} instants, {counters} counter samples, {metadata} metadata rows"
+    )
+
+
+if __name__ == "__main__":
+    main()

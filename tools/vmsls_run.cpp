@@ -11,8 +11,11 @@
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 #include "sls/synthesis.hpp"
 #include "sls/system.hpp"
 #include "workloads/workloads.hpp"
@@ -32,6 +35,9 @@ struct Options {
   bool cold = false;         // evict buffers before the run (demand paging)
   bool prefetch = false;
   bool dump_stats = false;
+  std::string trace_path;      // Perfetto trace JSON; empty = tracing off
+  std::string telemetry_path;  // telemetry CSV; empty = sampler off
+  u64 telemetry_period = 20'000;
 
   static void usage() {
     std::cout <<
@@ -48,7 +54,11 @@ struct Options {
         "  --page-bits B     page size = 2^B (12/14/16/21)\n"
         "  --cold            evict buffers first (demand paging)\n"
         "  --prefetch        enable next-page TLB prefetch\n"
-        "  --stats           dump the full statistics snapshot\n";
+        "  --stats           dump the full statistics snapshot\n"
+        "  --trace PATH      write a Perfetto/Chrome trace_event JSON of the run\n"
+        "  --telemetry PATH  write a periodic pressure time-series CSV\n"
+        "  --telemetry-period N\n"
+        "                    telemetry sampling period in cycles (default 20000)\n";
   }
 };
 
@@ -70,6 +80,9 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--cold") opt.cold = true;
     else if (arg == "--prefetch") opt.prefetch = true;
     else if (arg == "--stats") opt.dump_stats = true;
+    else if (arg == "--trace") opt.trace_path = value();
+    else if (arg == "--telemetry") opt.telemetry_path = value();
+    else if (arg == "--telemetry-period") opt.telemetry_period = std::stoull(value());
     else if (arg == "--help" || arg == "-h") { Options::usage(); return false; }
     else throw std::invalid_argument("unknown option " + arg);
   }
@@ -106,14 +119,40 @@ int main(int argc, char** argv) {
     const auto image = flow.synthesize(app);
 
     sim::Simulator sim;
+    // Attach the trace sink before elaboration so construction-time track
+    // registration and the first fault both land in the file.
+    std::unique_ptr<sim::JsonTraceWriter> trace;
+    if (!opt.trace_path.empty()) {
+      trace = std::make_unique<sim::JsonTraceWriter>(opt.trace_path);
+      sim.trace().set_sink(trace.get());
+    }
     auto system = image.elaborate(sim);
     wl.setup(*system);
     if (opt.cold)
       for (const auto& buf : app.buffers)
         system->process().evict(system->buffer(buf.name), buf.bytes);
+    std::unique_ptr<sim::TelemetrySampler> telemetry;
+    if (!opt.telemetry_path.empty()) {
+      telemetry = std::make_unique<sim::TelemetrySampler>(sim, opt.telemetry_period);
+      auto& as = system->address_space();
+      telemetry->add_probe("resident",
+                           [&as] { return static_cast<double>(as.resident_pages()); });
+      const Counter& faults = sim.stats().counter("faults.faults");
+      telemetry->add_rate_probe("fault_rate",
+                                [&faults] { return static_cast<double>(faults.value()); });
+      const Counter& walks = sim.stats().counter("walker.walks");
+      telemetry->add_rate_probe("walk_rate",
+                                [&walks] { return static_cast<double>(walks.value()); });
+    }
     system->start_all();
+    if (telemetry) telemetry->start();
     const Cycles cycles = system->run_to_completion();
     const bool ok = wl.verify(*system);
+    if (telemetry) telemetry->save_csv(opt.telemetry_path);
+    if (trace) {
+      trace->finish(sim.trace());
+      sim.trace().set_sink(nullptr);
+    }
 
     std::cout << opt.workload << " n=" << opt.n << " kind=" << opt.kind << " -> " << cycles
               << " cycles, " << (ok ? "verified" : "WRONG RESULT") << "\n";
