@@ -58,6 +58,7 @@
 #include "sim/trace.hpp"
 #include "sls/process_group.hpp"
 #include "sls/report_writer.hpp"
+#include "sls/sharded_runner.hpp"
 #include "util/table.hpp"
 
 using namespace vmsls;
@@ -149,7 +150,10 @@ struct TeeSink final : sim::TraceSink {
   }
 };
 
-MixResult run_mix(const MixOptions& opt) {
+/// The full mix on a caller-supplied simulator: the sharded grid driver
+/// hands each grid point its own Simulator (one shard = one instance), and
+/// the serial wrapper below keeps the original single-run shape.
+MixResult run_mix_on(sim::Simulator& sim, const MixOptions& opt) {
   const u64 page = 4 * KiB;
   std::vector<workloads::Workload> wls;
   for (unsigned i = 0; i < opt.processes; ++i) wls.push_back(make_mix_member(i));
@@ -170,7 +174,6 @@ MixResult run_mix(const MixOptions& opt) {
   pool_cfg.policy = plat.pager.policy;
   pool_cfg.policy_seed = 7;
 
-  sim::Simulator sim;
   std::unique_ptr<sim::JsonTraceWriter> json;
   if (!opt.trace_path.empty()) json = std::make_unique<sim::JsonTraceWriter>(opt.trace_path);
   TeeSink tee;
@@ -283,6 +286,11 @@ MixResult run_mix(const MixOptions& opt) {
     sim.trace().set_sink(nullptr);
   }
   return r;
+}
+
+MixResult run_mix(const MixOptions& opt) {
+  sim::Simulator sim;
+  return run_mix_on(sim, opt);
 }
 
 void determinism_gate() {
@@ -454,6 +462,7 @@ int run_smoke(const std::string& trace_path, const std::string& telemetry_csv, u
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  unsigned shards = 1;
   std::string trace_path;
   std::string telemetry_csv;
   u64 telemetry_period = 20'000;
@@ -467,11 +476,12 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--smoke") smoke = true;
+    else if (arg == "--shards") shards = static_cast<unsigned>(std::stoul(value()));
     else if (arg == "--trace") trace_path = value();
     else if (arg == "--telemetry") telemetry_csv = value();
     else if (arg == "--telemetry-period") telemetry_period = std::stoull(value());
     else {
-      std::cerr << "usage: bench_fig12_shared_swap [--smoke] [--trace PATH] "
+      std::cerr << "usage: bench_fig12_shared_swap [--smoke] [--shards N] [--trace PATH] "
                    "[--telemetry PATH] [--telemetry-period N]\n";
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
@@ -490,29 +500,83 @@ int main(int argc, char** argv) {
   bench::EngineBenchReport engine;
   std::ostringstream headline;
 
+  // --- the grid: every 12a/12b operating point is one independent shard ---
+  // Grid points share nothing (each builds its whole system on its own
+  // Simulator), so they fan out across --shards workers; results land in
+  // submission-order slots and the tables below read them back serially,
+  // bit-identical for any worker count.
+  struct GridPoint {
+    std::string label;
+    MixOptions opt;
+  };
+  std::vector<GridPoint> grid;
+  for (unsigned procs : {2u, 4u, 8u})
+    for (const auto mode :
+         {DeviceMode::kPrivate, DeviceMode::kSharedFifo, DeviceMode::kSharedPriority}) {
+      GridPoint g;
+      g.label = "fig12/" + std::to_string(procs) + "p_" + device_mode_name(mode);
+      g.opt.processes = procs;
+      g.opt.device = mode;
+      grid.push_back(std::move(g));
+    }
+  const std::size_t grid_b_start = grid.size();
+  for (const auto mode : {DeviceMode::kSharedFifo, DeviceMode::kSharedPriority})
+    for (unsigned ra : {0u, 2u, 4u, 8u}) {
+      GridPoint g;
+      g.label = "fig12/4p_" + std::string(device_mode_name(mode)) + "_ra" + std::to_string(ra);
+      g.opt.processes = 4;
+      g.opt.device = mode;
+      g.opt.readahead = ra;
+      grid.push_back(std::move(g));
+    }
+
+  std::vector<MixResult> results(grid.size());
+  std::vector<sls::Shard> shard_list;
+  shard_list.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    shard_list.push_back({grid[i].label, [&results, &grid, i](sim::Simulator& sim) {
+                            results[i] = run_mix_on(sim, grid[i].opt);
+                          }});
+  sls::ShardedRunner runner(shards);
+  bench::WallTimer sharded_timer;
+  const sls::ShardedReport report = runner.run(shard_list);
+  const double sharded_ms = sharded_timer.ms();
+  if (shards > 1) {
+    // Verification pass: the whole grid again, serially, and a hard compare
+    // of every shard's cycles/events plus the full merged stat snapshot.
+    // Throws (and fails the bench) on the first divergence.
+    bench::WallTimer serial_timer;
+    runner.verify_against_serial(shard_list, report);
+    const double serial_ms = serial_timer.ms();
+    std::cout << "[sharded] " << grid.size() << " grid points on " << shards
+              << " workers: " << sharded_ms << " ms vs " << serial_ms
+              << " ms serial (speedup " << serial_ms / sharded_ms
+              << "x) — bit-identical\n";
+  }
+
   // --- 12a: contention — process count x device mode, readahead off ------
   Table table_a({"processes", "device", "cycles", "faults", "swap reads", "queue wait",
                  "slowdown vs private"});
   Cycles fifo4 = 0, private4 = 0;
-  for (unsigned procs : {2u, 4u, 8u}) {
-    Cycles private_cycles = 0;
-    for (const auto mode :
-         {DeviceMode::kPrivate, DeviceMode::kSharedFifo, DeviceMode::kSharedPriority}) {
-      MixOptions opt;
-      opt.processes = procs;
-      opt.device = mode;
-      const MixResult r = run_mix(opt);
-      if (mode == DeviceMode::kPrivate) private_cycles = r.cycles;
-      if (procs == 4 && mode == DeviceMode::kPrivate) private4 = r.cycles;
-      if (procs == 4 && mode == DeviceMode::kSharedFifo) fifo4 = r.cycles;
-      table_a.add_row({Table::num(static_cast<u64>(procs)), device_mode_name(mode),
-                       Table::num(r.cycles), Table::num(r.faults), Table::num(r.device_reads),
-                       Table::num(r.queue_wait_mean, 0),
-                       Table::num(static_cast<double>(r.cycles) /
-                                      static_cast<double>(private_cycles),
-                                  2)});
-      engine.add("fig12/" + std::to_string(procs) + "p_" + device_mode_name(mode), r.cycles,
-                 r.events, r.host_ms);
+  {
+    std::size_t gi = 0;
+    for (unsigned procs : {2u, 4u, 8u}) {
+      Cycles private_cycles = 0;
+      for (const auto mode :
+           {DeviceMode::kPrivate, DeviceMode::kSharedFifo, DeviceMode::kSharedPriority}) {
+        const MixResult& r = results[gi];
+        if (mode == DeviceMode::kPrivate) private_cycles = r.cycles;
+        if (procs == 4 && mode == DeviceMode::kPrivate) private4 = r.cycles;
+        if (procs == 4 && mode == DeviceMode::kSharedFifo) fifo4 = r.cycles;
+        table_a.add_row({Table::num(static_cast<u64>(procs)), device_mode_name(mode),
+                         Table::num(r.cycles), Table::num(r.faults), Table::num(r.device_reads),
+                         Table::num(r.queue_wait_mean, 0),
+                         Table::num(static_cast<double>(r.cycles) /
+                                        static_cast<double>(private_cycles),
+                                    2)});
+        engine.add(grid[gi].label, r.cycles, r.events, r.host_ms);
+        ++gi;
+      }
     }
   }
   table_a.print(std::cout,
@@ -527,13 +591,10 @@ int main(int argc, char** argv) {
                  "accuracy", "coverage", "recovered"});
   Cycles best_shared = fifo4;
   std::string best_shared_name = "shared-fifo ra=0";
+  std::size_t gi = grid_b_start;
   for (const auto mode : {DeviceMode::kSharedFifo, DeviceMode::kSharedPriority}) {
     for (unsigned ra : {0u, 2u, 4u, 8u}) {
-      MixOptions opt;
-      opt.processes = 4;
-      opt.device = mode;
-      opt.readahead = ra;
-      const MixResult r = run_mix(opt);
+      const MixResult& r = results[gi];
       if (r.cycles < best_shared) {
         best_shared = r.cycles;
         best_shared_name = std::string(device_mode_name(mode)) + " ra=" + std::to_string(ra);
@@ -549,10 +610,10 @@ int main(int argc, char** argv) {
                        Table::num(r.prefetch_useful), Table::num(r.prefetch_late),
                        Table::num(r.prefetch_wasted), Table::num(r.accuracy(), 2),
                        Table::num(r.coverage(), 2), Table::num(recovered, 2)});
-      engine.add("fig12/4p_" + std::string(device_mode_name(mode)) + "_ra" + std::to_string(ra),
-                 r.cycles, r.events, r.host_ms);
+      engine.add(grid[gi].label, r.cycles, r.events, r.host_ms);
       if (mode == DeviceMode::kSharedPriority && ra == 4 && r.prefetches == 0)
         throw std::runtime_error("fig12: readahead issued no prefetches at depth 4");
+      ++gi;
     }
   }
   table_b.print(std::cout,

@@ -45,12 +45,18 @@ FramePool::FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::strin
   });
   // Wrong-path readahead landings are reclaimed first machine-wide too:
   // the global sweep resolves the speculative flag through the owner.
-  policy_->set_speculative_probe([this](u64 key) {
-    const auto member = key >> kMemberShift;
-    const u64 vpn = key & ((1ull << kMemberShift) - 1);
-    Pager* p = member < members_.size() ? members_[member] : nullptr;
-    return p != nullptr && p->is_speculative(vpn);
-  });
+  policy_->set_speculative_probe(
+      [this](u64 key) {
+        const auto member = key >> kMemberShift;
+        const u64 vpn = key & ((1ull << kMemberShift) - 1);
+        Pager* p = member < members_.size() ? members_[member] : nullptr;
+        return p != nullptr && p->is_speculative(vpn);
+      },
+      [this] {
+        for (Pager* p : members_)
+          if (p != nullptr && p->any_speculative()) return true;
+        return false;
+      });
 }
 
 u64 FramePool::pack(u64 member, u64 vpn) const {

@@ -42,8 +42,11 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
     sched_ = owned_swap_.get();
   }
   swap_owner_ = sched_->register_owner(name_);
+  page_bits_ = as_.page_table().config().page_bits;
+  track_ws_ = cfg_.ws_interval > 0;
   policy_->set_pinned_probe([this](u64 vpn) { return as_.is_pinned_vpn(vpn); });
-  policy_->set_speculative_probe([this](u64 vpn) { return is_speculative(vpn); });
+  policy_->set_speculative_probe([this](u64 vpn) { return is_speculative(vpn); },
+                                 [this] { return !speculative_.empty(); });
   as_.set_residency_observer(this);
   as_.set_reclaim_hook([this](u64 pages) { return reclaim(pages); });
   // Pages already resident when the pager attaches (pinned buffers mapped at
@@ -57,12 +60,10 @@ Pager::~Pager() {
   as_.set_reclaim_hook(nullptr);
 }
 
-unsigned Pager::page_bits() const noexcept { return as_.page_table().config().page_bits; }
-
 void Pager::on_map(u64 vpn) {
   if (pending_maps_.erase(vpn) > 0 && pool_) pool_->note_pending(-1);
   policy_->on_insert(vpn);
-  ws_last_ref_[vpn] = sim_.now();  // a fresh mapping is by definition referenced
+  if (track_ws_) ws_last_ref_[vpn] = sim_.now();  // a fresh mapping is a reference
   if (pool_) pool_->note_map(*this, vpn);
   note_activity();
 }
@@ -71,7 +72,7 @@ void Pager::on_unmap(u64 vpn, bool dirty) {
   (void)dirty;  // contents always reach the backing store; the *time* for
                 // dirty pages is charged on the pager's own eviction path
   policy_->on_remove(vpn);
-  ws_last_ref_.erase(vpn);
+  if (track_ws_) ws_last_ref_.erase(vpn);
   // An external unmap (experiment-setup eviction) of a speculative page is
   // wasted work; the pager's own evictions settle the flag beforehand with
   // the accessed bit still readable.
@@ -93,7 +94,7 @@ bool Pager::probe_accessed(u64 vpn) {
   // (The bit is a single hardware resource; without this the estimator
   // undercounts exactly when eviction sweeps run hottest.)
   if (!as_.page_table().test_and_clear_accessed(vpn << page_bits())) return false;
-  ws_last_ref_[vpn] = sim_.now();
+  if (track_ws_) ws_last_ref_[vpn] = sim_.now();
   // A referenced readahead landing graduates to a real resident page: the
   // prediction was right.
   if (speculative_.erase(vpn) > 0) prefetch_useful_.add();

@@ -173,6 +173,10 @@ class Pager final : public mem::ResidencyObserver {
   /// replacement policies' reclaim-first probe.
   bool is_speculative(u64 vpn) const { return speculative_.count(vpn) != 0; }
 
+  /// Whether any page is currently speculative — the policies' cheap
+  /// emptiness hint, letting them skip the reclaim-first pre-scan.
+  bool any_speculative() const noexcept { return !speculative_.empty(); }
+
   /// Latest working-set estimate (pages referenced within the window);
   /// 0 until the first sweep completes.
   u64 working_set_pages() const noexcept { return ws_pages_; }
@@ -226,7 +230,9 @@ class Pager final : public mem::ResidencyObserver {
   void ws_sweep();
   void pageout_tick();
   bool over_pageout_watermark() const;
-  unsigned page_bits() const noexcept;
+  /// Cached at construction: chased through three pointers per fault before,
+  /// and the page-table geometry never changes after elaboration.
+  unsigned page_bits() const noexcept { return page_bits_; }
 
   sim::Simulator& sim_;
   rt::Process& process_;
@@ -241,6 +247,11 @@ class Pager final : public mem::ResidencyObserver {
   FramePool* pool_ = nullptr;
   rt::OsModel* os_ = nullptr;
   Cycles daemon_tick_cost_ = 0;
+  unsigned page_bits_ = 0;
+  /// ws_last_ref_ is only ever *read* by the WS estimator, which only runs
+  /// when ws_interval > 0 — without it the per-map/per-probe hash writes
+  /// were dead weight on the fault path.
+  bool track_ws_ = false;
 
   /// Faults coalescing on a page whose frame is being secured or whose
   /// contents are mid-read: one reservation + one device read serve all

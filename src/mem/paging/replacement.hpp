@@ -57,9 +57,14 @@ class ReplacementPolicy {
   void set_pinned_probe(PinnedProbe pinned) { pinned_ = std::move(pinned); }
 
   /// Installs the wrong-path-prefetch filter; absent = nothing is
-  /// speculative and victim selection is unchanged.
-  void set_speculative_probe(SpeculativeProbe speculative) {
+  /// speculative and victim selection is unchanged. `any` is an optional
+  /// cheap emptiness hint ("is anything speculative right now?"): when it
+  /// returns false, policies skip the speculative pre-scan entirely instead
+  /// of probing every tracked page — on fault paths with readahead off,
+  /// that scan is pure overhead. Absent, every pre-scan runs.
+  void set_speculative_probe(SpeculativeProbe speculative, std::function<bool()> any = {}) {
     speculative_ = std::move(speculative);
+    any_speculative_ = std::move(any);
   }
 
   virtual const char* name() const noexcept = 0;
@@ -80,10 +85,16 @@ class ReplacementPolicy {
  protected:
   bool is_pinned(u64 key) const { return pinned_ && pinned_(key); }
   bool is_speculative(u64 key) const { return speculative_ && speculative_(key); }
+  /// Whether the speculative pre-scan can find anything: false short-circuits
+  /// it. Conservatively true when no hint was installed.
+  bool maybe_speculative() const {
+    return speculative_ != nullptr && (!any_speculative_ || any_speculative_());
+  }
 
  private:
   PinnedProbe pinned_;
   SpeculativeProbe speculative_;
+  std::function<bool()> any_speculative_;
 };
 
 /// `probe` supplies the accessed bits (CLOCK/LRU test-and-clear through it);

@@ -53,13 +53,14 @@ void SwapDevice::read_page(u64 vpn, sim::EventFn done) {
   });
 }
 
-void SwapDevice::read_pages(const std::vector<u64>& vpns, sim::EventFn done) {
+void SwapDevice::read_pages(std::vector<u64> vpns, sim::EventFn done) {
   for (const u64 vpn : vpns)
     if (!holds(vpn))
       throw std::logic_error(name_ + ": clustered swap-in of page not held by the device");
   reads_.add(vpns.size());
-  issue(cfg_.read_latency, vpns.size() * page_bytes_,
-        [this, vpns, done = std::move(done)]() mutable {
+  const u64 bytes = vpns.size() * page_bytes_;  // before the capture moves vpns
+  issue(cfg_.read_latency, bytes,
+        [this, vpns = std::move(vpns), done = std::move(done)]() mutable {
           for (const u64 vpn : vpns) slots_.erase(vpn);
           VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "slots_in_use",
                               static_cast<double>(slots_.size()));

@@ -97,7 +97,9 @@ class SwapDevice {
   /// makes swap-in readahead pay: the scheduler merges adjacent-slot reads
   /// so a cluster costs little more than its demand page alone. Every page
   /// must be held; all slots free at the shared completion instant.
-  void read_pages(const std::vector<u64>& vpns, sim::EventFn done);
+  /// Takes the vpn vector by value: the device's completion owns it (one
+  /// move from the caller to the wire, no copies on the fault path).
+  void read_pages(std::vector<u64> vpns, sim::EventFn done);
 
   /// Slot bookkeeping without device time: pages evicted "by fiat" during
   /// experiment setup land in swap instantly, so later faults on them pay

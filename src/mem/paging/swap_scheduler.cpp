@@ -132,6 +132,7 @@ void SwapScheduler::read(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventFn
   Request r;
   r.owner = owner;
   r.key = key;
+  r.slot = slot_of_.at(key);
   r.cls = cls;
   r.enqueued = sim_.now();
   r.trace_id = trace_id;
@@ -151,6 +152,7 @@ void SwapScheduler::write(unsigned owner, u64 vpn, SwapReqClass cls, sim::EventF
   Request r;
   r.owner = owner;
   r.key = pack(owner, vpn);
+  r.slot = slot_of_.at(r.key);
   r.cls = cls;
   r.enqueued = sim_.now();
   r.trace_id = trace_id;
@@ -215,19 +217,18 @@ void SwapScheduler::batched(const std::function<void()>& fill) {
 void SwapScheduler::pump() {
   if (defer_ > 0 || in_flight_ || queue_.empty()) return;
   const std::size_t idx = select_next();
-  std::vector<Request> batch;
+  std::vector<Request> batch = take_batch();
   batch.push_back(std::move(queue_[idx]));
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
   if (!is_write_class(batch[0].cls)) {
     // Clustered swap-in: every queued read whose slot shares the selected
     // read's cluster region rides the same device operation, whatever its
     // class — adjacent slots stream in one access. Regions are per-owner,
-    // so the batch never mixes owners.
-    const u64 region = slot_of_.at(batch[0].key) / cfg_.cluster_pages;
+    // so the batch never mixes owners. Slots were resolved at enqueue
+    // (Request::slot), so this scan is compare-only.
+    const u64 region = batch[0].slot / cfg_.cluster_pages;
     for (auto it = queue_.begin(); it != queue_.end();) {
-      const auto slot = slot_of_.find(it->key);
-      if (!is_write_class(it->cls) && slot != slot_of_.end() &&
-          slot->second / cfg_.cluster_pages == region) {
+      if (!is_write_class(it->cls) && it->slot / cfg_.cluster_pages == region) {
         batch.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
@@ -269,30 +270,39 @@ void SwapScheduler::dispatch(std::vector<Request> batch) {
       pump();
       done();
     };
-    device_.write_page(batch[0].key, std::move(finish));
+    const u64 key = batch[0].key;
+    recycle_batch(std::move(batch));
+    device_.write_page(key, std::move(finish));
     return;
   }
+  // The batch itself rides into the device completion: keys are copied out
+  // once for the wire, and trace ids / continuations stay in the Requests
+  // instead of being unpacked into parallel vectors.
   std::vector<u64> keys;
   keys.reserve(batch.size());
-  std::vector<u64> ids;  // trace ids, batch order; empty while untraced
-  if (sim_.trace().enabled()) {
-    ids.reserve(batch.size());
-    for (const Request& r : batch) ids.push_back(r.trace_id);
-  }
-  std::vector<sim::EventFn> dones;
-  dones.reserve(batch.size());
-  for (Request& r : batch) {
-    keys.push_back(r.key);
-    dones.push_back(std::move(r.done));
-  }
-  device_.read_pages(keys, [this, keys, ids = std::move(ids),
-                            dones = std::move(dones)]() mutable {
-    for (const u64 id : ids) VMSLS_TRACE_END(sim_.trace(), trace_track_, "io", id);
-    for (const u64 key : keys) free_slot(key);
+  for (const Request& r : batch) keys.push_back(r.key);
+  device_.read_pages(std::move(keys), [this, batch = std::move(batch)]() mutable {
+    for (const Request& r : batch) {
+      VMSLS_TRACE_END(sim_.trace(), trace_track_, "io", r.trace_id);
+      free_slot(r.key);
+    }
     in_flight_ = false;
     pump();
-    for (auto& done : dones) done();
+    for (Request& r : batch) r.done();
+    recycle_batch(std::move(batch));
   });
+}
+
+std::vector<SwapScheduler::Request> SwapScheduler::take_batch() {
+  if (batch_pool_.empty()) return {};
+  std::vector<Request> b = std::move(batch_pool_.back());
+  batch_pool_.pop_back();
+  return b;
+}
+
+void SwapScheduler::recycle_batch(std::vector<Request> batch) {
+  batch.clear();
+  if (batch_pool_.size() < 4) batch_pool_.push_back(std::move(batch));
 }
 
 u64 SwapScheduler::queue_depth_class(SwapReqClass cls) const noexcept {

@@ -127,6 +127,11 @@ class SwapScheduler {
   struct Request {
     unsigned owner = 0;
     u64 key = 0;
+    /// The key's swap slot, resolved once at enqueue. Valid for the queued
+    /// request's whole lifetime: a held page's slot never moves, and the
+    /// only free is the page's own read completion — so dispatch clusters
+    /// on this field instead of re-probing slot_of_ per queued request.
+    u64 slot = 0;
     SwapReqClass cls = SwapReqClass::kDemandRead;
     Cycles enqueued = 0;
     u64 trace_id = 0;  // requester's causal trace id (0 = untraced)
@@ -152,6 +157,11 @@ class SwapScheduler {
   /// selected read plus every queued same-cluster read) as one clustered
   /// transfer. `batch[0]` is the selected request.
   void dispatch(std::vector<Request> batch);
+  /// Batch-vector recycling: dispatch hands its vector (and the Requests'
+  /// heap nodes) back after completion, so steady-state fault traffic
+  /// allocates no batch storage.
+  std::vector<Request> take_batch();
+  void recycle_batch(std::vector<Request> batch);
 
   sim::Simulator& sim_;
   SwapConfig cfg_;
@@ -161,6 +171,7 @@ class SwapScheduler {
   std::vector<Owner> owners_;
 
   std::deque<Request> queue_;
+  std::vector<std::vector<Request>> batch_pool_;  // recycled dispatch batches
   bool in_flight_ = false;
   unsigned defer_ = 0;  // batched() scope depth: pump waits for the scope end
   /// Dispatches that bypassed the oldest queued request (the deque front,

@@ -1,11 +1,10 @@
 #include "sls/dse.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <stdexcept>
-#include <thread>
 #include <utility>
+
+#include "util/parallel.hpp"
 
 namespace vmsls::sls {
 
@@ -189,36 +188,11 @@ void DesignSpaceExplorer::score(std::vector<SystemImage>& images, DseResult& res
   for (std::size_t i = 0; i < result.candidates.size(); ++i)
     if (result.candidates[i].fits) work.push_back(i);
 
-  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads_, work.size()));
-  if (workers <= 1) {
-    for (std::size_t i : work) {
-      result.candidates[i].cycles = evaluate(images[i]);
-      result.candidates[i].measured = true;
-    }
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(work.size());
-  auto drain = [&] {
-    for (std::size_t j = next.fetch_add(1); j < work.size(); j = next.fetch_add(1)) {
-      const std::size_t i = work[j];
-      try {
-        result.candidates[i].cycles = evaluate(images[i]);
-        result.candidates[i].measured = true;
-      } catch (...) {
-        errors[j] = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
-  drain();
-  for (auto& t : pool) t.join();
-  // Rethrow the lowest-index failure so the surfaced error does not
-  // depend on thread scheduling.
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  parallel_for(threads_, work.size(), [&](std::size_t j) {
+    const std::size_t i = work[j];
+    result.candidates[i].cycles = evaluate(images[i]);
+    result.candidates[i].measured = true;
+  });
 }
 
 }  // namespace vmsls::sls

@@ -1,0 +1,72 @@
+#include "sls/sharded_runner.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace vmsls::sls {
+
+ShardedReport ShardedRunner::run(const std::vector<Shard>& shards) const {
+  // Workers fill per-shard slots only; everything order-sensitive (result
+  // rows, registry merge) happens serially below, in submission order.
+  // Simulators live on the heap because each owns its registry until the
+  // merge, and they are built inside the worker so construction cost
+  // parallelizes with everything else.
+  std::vector<std::unique_ptr<sim::Simulator>> sims(shards.size());
+  parallel_for(workers_, shards.size(), [&](std::size_t i) {
+    auto sim = std::make_unique<sim::Simulator>();
+    shards[i].body(*sim);
+    sims[i] = std::move(sim);
+  });
+
+  ShardedReport report;
+  report.shards.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const sim::Simulator& sim = *sims[i];
+    ShardResult row;
+    row.name = shards[i].name;
+    row.cycles = sim.now();
+    row.events = sim.events_executed();
+    report.shards.push_back(std::move(row));
+    report.stats.merge(sim.stats(), shards[i].name.empty() ? "" : shards[i].name + ".");
+  }
+  return report;
+}
+
+void ShardedRunner::verify_against_serial(const std::vector<Shard>& shards,
+                                          const ShardedReport& parallel_report) const {
+  ShardedRunner serial(1);
+  const ShardedReport golden = serial.run(shards);
+  if (golden.shards.size() != parallel_report.shards.size())
+    throw std::runtime_error("sharded verify: shard count mismatch");
+  for (std::size_t i = 0; i < golden.shards.size(); ++i) {
+    const ShardResult& g = golden.shards[i];
+    const ShardResult& p = parallel_report.shards[i];
+    if (g.name != p.name || g.cycles != p.cycles || g.events != p.events)
+      throw std::runtime_error("sharded verify: shard '" + g.name +
+                               "' diverged from serial (cycles " + std::to_string(p.cycles) +
+                               " vs " + std::to_string(g.cycles) + ", events " +
+                               std::to_string(p.events) + " vs " + std::to_string(g.events) + ")");
+  }
+  // Full stat comparison: snapshot() is name-ordered, so one pass finds the
+  // first divergent entry by name.
+  const auto gs = golden.stats.snapshot();
+  const auto ps = parallel_report.stats.snapshot();
+  if (gs.size() != ps.size())
+    throw std::runtime_error("sharded verify: merged stat entry count mismatch");
+  auto gi = gs.begin();
+  auto pi = ps.begin();
+  for (; gi != gs.end(); ++gi, ++pi) {
+    if (gi->first != pi->first)
+      throw std::runtime_error("sharded verify: stat name mismatch at '" + gi->first + "' vs '" +
+                               pi->first + "'");
+    if (gi->second != pi->second)
+      throw std::runtime_error("sharded verify: stat '" + gi->first + "' diverged (" +
+                               std::to_string(pi->second) + " vs serial " +
+                               std::to_string(gi->second) + ")");
+  }
+}
+
+}  // namespace vmsls::sls

@@ -1,0 +1,84 @@
+// Sharded multi-simulator execution.
+//
+// Many of the repo's experiments are embarrassingly parallel at the
+// *instance* level: every fig12 grid point, DSE candidate, or sweep
+// configuration elaborates a complete system onto its own Simulator and
+// runs to completion without touching any other instance. The serial
+// drivers run those instances back to back; ShardedRunner fans them out
+// across a host worker pool instead, one private Simulator per shard, and
+// merges the results afterwards.
+//
+// Determinism contract (the whole point): a shard's simulation consumes no
+// input other than its own body, so its cycle count, event count, and
+// every stat it records are byte-identical whether it ran alone, serially
+// after nine others, or concurrently with them on another host thread.
+// Merging is serial and in submission order — the merged registry and the
+// per-shard result table are therefore bit-identical for any worker count,
+// which tests/sharded_run_test.cpp and the fig12 --shards verification
+// pass both hard-gate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::sls {
+
+/// One independent scenario instance. `body` receives a freshly constructed
+/// Simulator, elaborates the instance onto it, and drives it to completion
+/// (typically via sim.run() or a drain loop). It must not touch state shared
+/// with other shards except state it exclusively owns (e.g. its own slot in
+/// a caller-side result vector) — that is what keeps N-way runs bit-identical
+/// to serial ones.
+struct Shard {
+  /// Stat namespace: the shard's registry lands in the merged registry under
+  /// "<name>." (empty folds entries in unprefixed). Also the row label in
+  /// ShardedReport::shards.
+  std::string name;
+  std::function<void(sim::Simulator&)> body;
+};
+
+/// Per-shard outcome, recorded in submission order.
+struct ShardResult {
+  std::string name;
+  Cycles cycles = 0;  ///< sim.now() after the body returned
+  u64 events = 0;     ///< events the shard's simulator executed
+};
+
+struct ShardedReport {
+  std::vector<ShardResult> shards;  ///< submission order, independent of worker count
+  /// Every shard's registry merged under its "<name>." prefix — value for
+  /// value what one registry would hold had a single driver run all shards.
+  StatRegistry stats;
+};
+
+class ShardedRunner {
+ public:
+  /// `workers` host threads execute shards; <= 1 runs them serially on the
+  /// calling thread (no thread or atomic traffic).
+  explicit ShardedRunner(unsigned workers = 1) { set_workers(workers); }
+
+  void set_workers(unsigned workers) noexcept { workers_ = workers == 0 ? 1 : workers; }
+  unsigned workers() const noexcept { return workers_; }
+
+  /// Runs every shard on the pool and merges outcomes in submission order.
+  /// A shard body's exception aborts the run (lowest shard index wins, so
+  /// the surfaced error is scheduling-independent).
+  ShardedReport run(const std::vector<Shard>& shards) const;
+
+  /// Re-runs `shards` serially and hard-compares cycles, events, and the
+  /// full merged stat snapshot against `parallel_report`, throwing
+  /// std::runtime_error naming the first divergence. The bench drivers'
+  /// --shards verification pass.
+  void verify_against_serial(const std::vector<Shard>& shards,
+                             const ShardedReport& parallel_report) const;
+
+ private:
+  unsigned workers_ = 1;
+};
+
+}  // namespace vmsls::sls

@@ -1,0 +1,58 @@
+// Deterministic fork/join work distribution for host-side parallelism.
+//
+// One primitive: parallel_for(workers, n, fn) runs fn(i) for every index in
+// [0, n) across a transient pool of host threads. Indices are handed out by
+// an atomic ticket counter, so which *thread* runs an index is
+// scheduling-dependent — but callers keep bit-determinism by making fn(i)
+// write only to slot i of a pre-sized result array and share nothing else.
+// That discipline (owned by the DSE scorer since its first parallel sweep,
+// now also the sharded runner's contract) makes the merged result
+// byte-identical to the serial loop whatever the worker count.
+//
+// Exceptions: every throw is captured per-index and the lowest-index one is
+// rethrown after the join, so the surfaced error does not depend on thread
+// scheduling either.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace vmsls {
+
+/// Runs fn(i) for i in [0, n) on min(workers, n) host threads (the calling
+/// thread is one of them; workers <= 1 degrades to a plain serial loop with
+/// no thread or atomic traffic). Blocks until every index has completed,
+/// then rethrows the lowest-index captured exception, if any. fn must
+/// confine its writes to per-index state.
+template <typename Fn>
+void parallel_for(unsigned workers, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (static_cast<std::size_t>(workers) > n) workers = static_cast<unsigned>(n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace vmsls

@@ -28,6 +28,18 @@ u64 Histogram::percentile(double q) const noexcept {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // Raw members, not the accessors: an empty histogram's min_ is the ~0
+  // sentinel, which std::min ignores — merging an empty side is a no-op.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  overflow_ += other.overflow_;
+}
+
 void Histogram::reset() noexcept {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
@@ -81,6 +93,11 @@ u64 StatRegistry::counter_value(const std::string& name) const {
 
 bool StatRegistry::has_counter(const std::string& name) const {
   return counters_.find(name) != counters_.end();
+}
+
+void StatRegistry::merge(const StatRegistry& other, const std::string& prefix) {
+  for (const auto& [name, c] : other.counters_) counter(prefix + name).add(c.value());
+  for (const auto& [name, h] : other.histograms_) histogram(prefix + name).merge(h);
 }
 
 void StatRegistry::reset() {

@@ -50,6 +50,16 @@ class Histogram {
   const std::vector<u64>& buckets() const noexcept { return buckets_; }
   void reset() noexcept;
 
+  /// Folds `other`'s samples into this histogram. Exact, not approximate:
+  /// bucket boundaries are global (bucket b always covers the same value
+  /// range), so bucket counts add index-wise; count/sum/overflow add;
+  /// min/max take the extrema across both. Merging grows this histogram to
+  /// `other`'s bucket count when `other` is wider, so no sample is
+  /// re-clipped — overflow carries over exactly as recorded at sample time.
+  /// The shard-aggregation primitive: merging per-shard histograms yields
+  /// the histogram a single serial run would have recorded.
+  void merge(const Histogram& other);
+
  private:
   std::vector<u64> buckets_;
   u64 count_ = 0;
@@ -88,6 +98,15 @@ class StatRegistry {
 
   u64 counter_value(const std::string& name) const;
   bool has_counter(const std::string& name) const;
+
+  /// Folds every counter and histogram of `other` into this registry,
+  /// entry names prefixed with `prefix` ("p3." turns "pager.evictions"
+  /// into "p3.pager.evictions"; "" merges name-onto-name). Counters add;
+  /// histograms merge per Histogram::merge. Missing entries are created.
+  /// The sharded runner's aggregation path: merging per-shard registries
+  /// under per-shard prefixes reproduces, value for value, the registry a
+  /// single simulator running all instances would expose.
+  void merge(const StatRegistry& other, const std::string& prefix = "");
 
   void reset();
 

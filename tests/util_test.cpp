@@ -204,6 +204,103 @@ TEST(Histogram, OverflowCountsClippedSamples) {
   EXPECT_EQ(h.overflow(), 0u);
 }
 
+TEST(Histogram, MergeMatchesSerialRecording) {
+  // Two shards recording disjoint sample streams must merge into exactly
+  // the histogram one recorder would have produced.
+  Histogram a, b, serial;
+  for (u64 v = 1; v <= 500; ++v) {
+    a.record(v);
+    serial.record(v);
+  }
+  for (u64 v = 501; v <= 1000; ++v) {
+    b.record(v * 3);
+    serial.record(v * 3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_EQ(a.sum(), serial.sum());
+  EXPECT_EQ(a.min(), serial.min());
+  EXPECT_EQ(a.max(), serial.max());
+  EXPECT_EQ(a.overflow(), serial.overflow());
+  EXPECT_EQ(a.buckets(), serial.buckets());
+  EXPECT_EQ(a.percentile(0.5), serial.percentile(0.5));
+  EXPECT_EQ(a.percentile(0.99), serial.percentile(0.99));
+}
+
+TEST(Histogram, MergePreservesOverflowAndExtrema) {
+  Histogram a(4), b(4);  // values >= 8 clip into the last bucket
+  a.record(2);
+  a.record(100);  // overflow in a
+  b.record(1);
+  b.record(5000);  // overflow in b
+  b.record(9999);  // overflow in b
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.overflow(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 9999u);
+}
+
+TEST(Histogram, MergeEmptySidesAreNoOps) {
+  Histogram a, empty;
+  a.record(7);
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 7u);
+
+  Histogram dst;
+  dst.merge(a);  // merging INTO an empty histogram copies the state
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.min(), 7u);  // the ~0 min sentinel must not leak through
+  EXPECT_EQ(dst.sum(), 7u);
+}
+
+TEST(Histogram, MergeGrowsToWiderBucketCount) {
+  Histogram narrow(4), wide(32);
+  wide.record(1 << 20);  // legitimate sample in a high bucket, no overflow
+  narrow.record(100);    // clipped: overflow in the narrow histogram
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.buckets().size(), 32u);
+  EXPECT_EQ(narrow.count(), 2u);
+  // The wide histogram's sample stays un-clipped; the narrow histogram's
+  // own clip stays counted. Overflow records sample-time truncation.
+  EXPECT_EQ(narrow.overflow(), 1u);
+  EXPECT_EQ(narrow.max(), u64{1} << 20);
+}
+
+TEST(StatRegistry, MergeAddsCountersAndHistograms) {
+  StatRegistry a, b;
+  a.counter("hits").add(3);
+  b.counter("hits").add(4);
+  b.counter("only_b").add(9);
+  a.histogram("lat").record(10);
+  b.histogram("lat").record(20);
+  b.histogram("only_b_h").record(5);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("hits"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 9u);
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_EQ(a.histogram("lat").min(), 10u);
+  EXPECT_EQ(a.histogram("lat").max(), 20u);
+  EXPECT_EQ(a.histogram("only_b_h").count(), 1u);
+}
+
+TEST(StatRegistry, MergeWithPrefixNamespacesEntries) {
+  // The sharded runner's merge: per-shard registries land under
+  // "<instance>." prefixes, exactly like ProcessGroup's stat naming.
+  StatRegistry merged, shard;
+  shard.counter("pager.evictions").add(5);
+  shard.histogram("pager.fault_stall").record(1000);
+  merged.merge(shard, "p3.");
+  EXPECT_EQ(merged.counter_value("p3.pager.evictions"), 5u);
+  EXPECT_EQ(merged.histogram("p3.pager.fault_stall").count(), 1u);
+  EXPECT_FALSE(merged.has_counter("pager.evictions"));
+  const auto snap = merged.snapshot();
+  EXPECT_EQ(snap.at("p3.pager.evictions"), 5.0);
+  EXPECT_EQ(snap.at("p3.pager.fault_stall.max"), 1000.0);
+}
+
 TEST(StatRegistry, SnapshotIncludesPercentilesAndOverflow) {
   StatRegistry reg;
   auto& h = reg.histogram("h");

@@ -4,7 +4,13 @@ committed baseline and fail on a significant events/s regression.
 
 Usage:
     tools/check_bench.py --fresh build/BENCH_engine.json \
+        [--fresh build/BENCH_paging.json ...] \
         [--baseline bench/baselines/BENCH_engine.json] [--threshold 0.25]
+
+--fresh may repeat: reports from several bench binaries (micro_core,
+micro_paging, ...) merge into one view before gating, so a single committed
+baseline can gate them all. A section name appearing in two fresh reports is
+a configuration error.
 
 Every section present in the baseline must exist in the fresh report and
 retire at least (1 - threshold) x the baseline events/s. Sections new in the
@@ -27,8 +33,15 @@ The committed baseline encodes the slowest machine the gate is expected to
 run on. After an intentional engine change (or a runner upgrade):
 
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DVMSLS_LTO=ON
-    cmake --build build -j && (cd build && ./bench_micro_core)
-    cp build/BENCH_engine.json bench/baselines/BENCH_engine.json
+    cmake --build build -j && (cd build && ./bench_micro_core && ./bench_micro_paging)
+    python3 - <<'PY'
+    import json
+    merged = {e["name"]: e for path in
+              ("build/BENCH_engine.json", "build/BENCH_paging.json")
+              for e in json.load(open(path))}
+    with open("bench/baselines/BENCH_engine.json", "w") as f:
+        f.write("[\n" + ",\n".join("  " + json.dumps(e) for e in merged.values()) + "\n]\n")
+    PY
 
 and commit the new file in the same PR as the change that moved the numbers,
 with a line in the PR description saying why.
@@ -105,7 +118,8 @@ def write_github_summary(rows, new_sections, new_metrics, failures, threshold):
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("--fresh", required=True, help="BENCH_engine.json from this build")
+    ap.add_argument("--fresh", required=True, action="append",
+                    help="bench report JSON from this build (repeatable; merged)")
     ap.add_argument("--baseline", default="bench/baselines/BENCH_engine.json")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed fractional events/s regression (default 0.25)")
@@ -114,7 +128,13 @@ def main():
     args = ap.parse_args()
 
     baseline = load(args.baseline)
-    fresh = load(args.fresh)
+    fresh = {}
+    for path in args.fresh:
+        for name, section in load(path).items():
+            if name in fresh:
+                sys.exit(f"check_bench: section '{name}' appears in more than one "
+                         f"--fresh report")
+            fresh[name] = section
 
     failures = []
     rows = []
@@ -136,18 +156,18 @@ def main():
             rows.append((name, base_eps, None, "skipped (events/s not a throughput here)"))
             continue
         if name not in fresh:
-            failures.append(name)
+            failures.append(name + ".events_per_sec")
             rows.append((name, base_eps, None, "MISSING from fresh report"))
             continue
         fresh_eps = metric(fresh[name], "events_per_sec")
         if fresh_eps is None:
-            failures.append(name)
+            failures.append(name + ".events_per_sec")
             rows.append((name, base_eps, None, "MISSING events_per_sec in fresh report"))
             continue
         ratio = fresh_eps / base_eps
         ok = ratio >= 1.0 - args.threshold
         if not ok:
-            failures.append(name)
+            failures.append(name + ".events_per_sec")
         rows.append((name, base_eps, fresh_eps,
                      f"{ratio:6.2f}x {'ok' if ok else 'REGRESSION'}"))
 
@@ -163,6 +183,16 @@ def main():
                 if isinstance(value, (int, float)):
                     new_metrics.add(f"{name}.{key}")
 
+    def severity(row):
+        """Worst first: hard failures, then gated rows by ascending ratio
+        (biggest regression at the top), then informational skips."""
+        name, base_eps, fresh_eps, verdict = row
+        if fresh_eps is None:
+            return (0.0, name) if name + ".events_per_sec" in failures else (2.0, name)
+        return (1.0 + min(fresh_eps / base_eps, 1e9) / 1e12, name) if base_eps > 0 \
+            else (1.0, name)
+
+    rows.sort(key=severity)
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'section'.ljust(width)}  {'baseline ev/s':>14}  {'fresh ev/s':>14}  verdict")
     for name, base_eps, fresh_eps, verdict in rows:
@@ -178,7 +208,7 @@ def main():
     write_github_summary(rows, new_sections, new_metrics, failures, args.threshold)
 
     if failures:
-        print(f"\ncheck_bench: FAIL — {len(failures)} section(s) regressed more than "
+        print(f"\ncheck_bench: FAIL — {len(failures)} metric(s) regressed more than "
               f"{args.threshold:.0%}: {', '.join(failures)}")
         print("If intentional, refresh the baseline (see --help).")
         return 1

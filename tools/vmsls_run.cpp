@@ -8,16 +8,23 @@
 //
 // Prints cycles, verification status, and (with --stats) the full counter
 // snapshot — the quickest way to poke at the model without writing code.
+//
+// --sweep-seeds K fans K replicas (seeds S..S+K-1) across --shards N host
+// workers, one Simulator per replica, and prints a per-seed table plus the
+// merged statistics — bit-identical for any N (see sls::ShardedRunner).
 
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
+#include "sls/sharded_runner.hpp"
 #include "sls/synthesis.hpp"
 #include "sls/system.hpp"
+#include "util/table.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace vmsls;
@@ -38,6 +45,8 @@ struct Options {
   std::string trace_path;      // Perfetto trace JSON; empty = tracing off
   std::string telemetry_path;  // telemetry CSV; empty = sampler off
   u64 telemetry_period = 20'000;
+  unsigned sweep_seeds = 1;    // replicas (seed, seed+1, ...); 1 = single run
+  unsigned shards = 1;         // host workers for the sweep
 
   static void usage() {
     std::cout <<
@@ -58,7 +67,10 @@ struct Options {
         "  --trace PATH      write a Perfetto/Chrome trace_event JSON of the run\n"
         "  --telemetry PATH  write a periodic pressure time-series CSV\n"
         "  --telemetry-period N\n"
-        "                    telemetry sampling period in cycles (default 20000)\n";
+        "                    telemetry sampling period in cycles (default 20000)\n"
+        "  --sweep-seeds K   run K replicas with seeds S..S+K-1 and merge stats\n"
+        "  --shards N        host workers for --sweep-seeds (default 1; results\n"
+        "                    are bit-identical for any N)\n";
   }
 };
 
@@ -83,6 +95,8 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--trace") opt.trace_path = value();
     else if (arg == "--telemetry") opt.telemetry_path = value();
     else if (arg == "--telemetry-period") opt.telemetry_period = std::stoull(value());
+    else if (arg == "--sweep-seeds") opt.sweep_seeds = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--shards") opt.shards = static_cast<unsigned>(std::stoul(value()));
     else if (arg == "--help" || arg == "-h") { Options::usage(); return false; }
     else throw std::invalid_argument("unknown option " + arg);
   }
@@ -90,30 +104,92 @@ bool parse(int argc, char** argv, Options& opt) {
 }
 }  // namespace
 
+/// Workload + app for one seed (the only thing a sweep replica varies).
+workloads::Workload make_run_workload(const Options& opt, u64 seed) {
+  workloads::WorkloadParams params;
+  params.n = opt.n;
+  params.tile = opt.tile;
+  params.seed = seed;
+  return workloads::make_workload(opt.workload, params);
+}
+
+sls::AppSpec make_run_app(const Options& opt, const workloads::Workload& wl) {
+  const auto kind = opt.kind == "sw" ? sls::ThreadKind::kSoftware : sls::ThreadKind::kHardware;
+  auto app = workloads::single_thread_app(wl, kind, sls::Addressing::kVirtual, !opt.cold);
+  if (opt.tlb_entries > 0) {
+    mem::TlbConfig tlb;
+    tlb.entries = opt.tlb_entries;
+    tlb.ways = std::min(4u, opt.tlb_entries);
+    app.threads[0].tlb_override = tlb;
+  }
+  app.threads[0].prefetch_next_page = opt.prefetch;
+  return app;
+}
+
+sls::PlatformSpec make_run_platform(const Options& opt) {
+  sls::PlatformSpec plat = opt.platform == "7045" ? sls::zynq7045() : sls::zynq7020();
+  if (opt.page_bits > 0) plat.page_table.page_bits = opt.page_bits;
+  return plat;
+}
+
+/// --sweep-seeds: K independent replicas across the shard pool. Each shard
+/// synthesizes and simulates its own system; results and merged stats are
+/// bit-identical whatever --shards is.
+int run_sweep(const Options& opt) {
+  if (!opt.trace_path.empty() || !opt.telemetry_path.empty()) {
+    std::cerr << "error: --trace/--telemetry apply to single runs only\n";
+    return 2;
+  }
+  struct Replica {
+    Cycles cycles = 0;
+    u64 faults = 0;
+    bool ok = false;
+  };
+  std::vector<Replica> out(opt.sweep_seeds);
+  std::vector<sls::Shard> shards;
+  for (unsigned k = 0; k < opt.sweep_seeds; ++k)
+    shards.push_back(
+        {"seed" + std::to_string(opt.seed + k), [&opt, &out, k](sim::Simulator& sim) {
+           const auto wl = make_run_workload(opt, opt.seed + k);
+           sls::SynthesisFlow flow(make_run_platform(opt));
+           auto system = flow.synthesize(make_run_app(opt, wl)).elaborate(sim);
+           wl.setup(*system);
+           if (opt.cold)
+             for (const auto& buf : system->image().app().buffers)
+               system->process().evict(system->buffer(buf.name), buf.bytes);
+           system->start_all();
+           out[k].cycles = system->run_to_completion();
+           out[k].ok = wl.verify(*system);
+           out[k].faults = sim.stats().counter_value("faults.faults");
+         }});
+  sls::ShardedRunner runner(opt.shards);
+  const sls::ShardedReport report = runner.run(shards);
+
+  Table table({"seed", "cycles", "events", "faults", "verified"});
+  bool all_ok = true;
+  for (unsigned k = 0; k < opt.sweep_seeds; ++k) {
+    all_ok = all_ok && out[k].ok;
+    table.add_row({Table::num(opt.seed + k), Table::num(out[k].cycles),
+                   Table::num(report.shards[k].events), Table::num(out[k].faults),
+                   out[k].ok ? "yes" : "NO"});
+  }
+  table.print(std::cout, opt.workload + " x " + std::to_string(opt.sweep_seeds) +
+                             " seeds on " + std::to_string(opt.shards) + " workers");
+  if (opt.dump_stats)
+    for (const auto& [name, v] : report.stats.snapshot())
+      std::cout << "  " << name << " = " << v << "\n";
+  return all_ok ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   try {
     if (!parse(argc, argv, opt)) return 0;
+    if (opt.sweep_seeds > 1) return run_sweep(opt);
 
-    workloads::WorkloadParams params;
-    params.n = opt.n;
-    params.tile = opt.tile;
-    params.seed = opt.seed;
-    const auto wl = workloads::make_workload(opt.workload, params);
-
-    const auto kind =
-        opt.kind == "sw" ? sls::ThreadKind::kSoftware : sls::ThreadKind::kHardware;
-    auto app = workloads::single_thread_app(wl, kind, sls::Addressing::kVirtual, !opt.cold);
-    if (opt.tlb_entries > 0) {
-      mem::TlbConfig tlb;
-      tlb.entries = opt.tlb_entries;
-      tlb.ways = std::min(4u, opt.tlb_entries);
-      app.threads[0].tlb_override = tlb;
-    }
-    app.threads[0].prefetch_next_page = opt.prefetch;
-
-    sls::PlatformSpec plat = opt.platform == "7045" ? sls::zynq7045() : sls::zynq7020();
-    if (opt.page_bits > 0) plat.page_table.page_bits = opt.page_bits;
+    const auto wl = make_run_workload(opt, opt.seed);
+    auto app = make_run_app(opt, wl);
+    sls::PlatformSpec plat = make_run_platform(opt);
 
     sls::SynthesisFlow flow(plat);
     const auto image = flow.synthesize(app);
@@ -156,7 +232,7 @@ int main(int argc, char** argv) {
 
     std::cout << opt.workload << " n=" << opt.n << " kind=" << opt.kind << " -> " << cycles
               << " cycles, " << (ok ? "verified" : "WRONG RESULT") << "\n";
-    if (kind == sls::ThreadKind::kHardware) {
+    if (opt.kind != "sw") {
       std::cout << "  tlb hit rate " << system->mmu("worker").tlb().hit_rate() * 100.0
                 << "%, walks " << sim.stats().counter_value("walker.walks") << ", faults "
                 << sim.stats().counter_value("faults.faults") << "\n";
