@@ -28,6 +28,74 @@ std::vector<u8>& AddressSpace::backing_page(u64 vpn) {
   return page;
 }
 
+VirtAddr AddressSpace::mmap(BackingFile& file, u64 offset, u64 bytes, bool shared) {
+  const u64 page = page_bytes();
+  require(file.block_bytes() == page, "file block size must equal the page size");
+  require(bytes > 0, "cannot mmap zero bytes");
+  require((offset & (page - 1)) == 0, "mmap offset must be page-aligned");
+  require(offset + bytes <= file.size_bytes(), "mmap range exceeds the file");
+  const VirtAddr va = alloc(align_up(bytes, page), page);
+  bind_file(va, bytes, file, offset, shared);
+  return va;
+}
+
+void AddressSpace::bind_file(VirtAddr va, u64 bytes, BackingFile& file, u64 offset, bool shared) {
+  const u64 page = page_bytes();
+  require(file.block_bytes() == page, "file block size must equal the page size");
+  require(bytes > 0, "cannot bind zero bytes");
+  require((va & (page - 1)) == 0, "bind_file range must be page-aligned");
+  require((offset & (page - 1)) == 0, "bind_file offset must be page-aligned");
+  const u64 pages = align_up(bytes, page) / page;
+  require(offset + pages * page <= file.size_bytes(), "bind_file range exceeds the file");
+  const u64 first_vpn = va / page;
+  for (u64 i = 0; i < pages; ++i)
+    require(!file_page(first_vpn + i), "bind_file range overlaps an existing file region");
+  // Capture current contents so the file becomes the canonical copy: a
+  // resident frame's bytes win over a stale backing-store save, which wins
+  // over the file's zero-fill.
+  for (u64 i = 0; i < pages; ++i) {
+    const u64 vpn = first_vpn + i;
+    auto dst = file.block_data(offset / page + i);
+    if (const auto pte = pt_.lookup(vpn * page)) {
+      pm_.read(frames_.frame_addr(pte->frame), dst);
+    } else if (auto it = backing_.find(vpn); it != backing_.end()) {
+      std::memcpy(dst.data(), it->second.data(), dst.size());
+    }
+    backing_.erase(vpn);
+  }
+  FileRegion region{first_vpn, pages, &file, offset / page, shared};
+  const auto pos = std::upper_bound(
+      regions_.begin(), regions_.end(), region,
+      [](const FileRegion& a, const FileRegion& b) { return a.first_vpn < b.first_vpn; });
+  regions_.insert(pos, region);
+}
+
+std::optional<FilePageRef> AddressSpace::file_page(u64 vpn) const {
+  if (regions_.empty()) return std::nullopt;  // anon-only workloads: no search
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), vpn,
+      [](u64 v, const FileRegion& r) { return v < r.first_vpn; });
+  if (it == regions_.begin()) return std::nullopt;
+  const FileRegion& r = *std::prev(it);
+  if (vpn >= r.first_vpn + r.pages) return std::nullopt;
+  return FilePageRef{r.file, r.first_block + (vpn - r.first_vpn), r.shared};
+}
+
+void AddressSpace::sync_page(u64 vpn) {
+  const auto pte = pt_.lookup(vpn * page_bytes());
+  if (!pte) return;
+  const PhysAddr pa = frames_.frame_addr(pte->frame);
+  const auto fp = file_page(vpn);
+  if (fp && fp->shared) {
+    pm_.read(pa, fp->file->block_data(fp->block));
+  } else {
+    // Anonymous page, or a private file page whose modifications must land
+    // in the process-local copy — never in the shared file.
+    auto& store = backing_page(vpn);
+    pm_.read(pa, std::span<u8>(store.data(), store.size()));
+  }
+}
+
 u64 AddressSpace::map_page(VirtAddr va, bool writable) {
   const u64 page = page_bytes();
   const VirtAddr base = align_down(va, page);
@@ -38,11 +106,16 @@ u64 AddressSpace::map_page(VirtAddr va, bool writable) {
   if (!frame)
     throw std::runtime_error("AddressSpace: out of physical frames and nothing reclaimable");
   const PhysAddr pa = frames_.frame_addr(*frame);
+  // Fill order: a saved anonymous/private copy wins over the file (it holds
+  // the page's private modifications), the file wins over zero-fill.
   auto it = backing_.find(base / page);
-  if (it != backing_.end())
+  if (it != backing_.end()) {
     pm_.write(pa, std::span<const u8>(it->second.data(), it->second.size()));
-  else
+  } else if (const auto fp = file_page(base / page)) {
+    pm_.write(pa, fp->file->block_data(fp->block));
+  } else {
     pm_.clear(pa, page);
+  }
   pt_.map(base, *frame, writable);
   resident_vpns_.insert(base / page);
   ++demand_maps_;
@@ -63,8 +136,24 @@ u64 AddressSpace::evict(VirtAddr va, u64 bytes) {
     const auto pte = pt_.lookup(p);
     if (!pte) continue;
     const PhysAddr pa = frames_.frame_addr(pte->frame);
-    auto& store = backing_page(p / page);
-    pm_.read(pa, std::span<u8>(store.data(), store.size()));
+    const u64 vpn = p / page;
+    const auto fp = file_page(vpn);
+    if (!fp) {
+      // Anonymous: contents always survive in the backing store.
+      auto& store = backing_page(vpn);
+      pm_.read(pa, std::span<u8>(store.data(), store.size()));
+    } else if (!fp->shared) {
+      // Private file page: save the process-local copy once it diverges (or
+      // has diverged before — a pageout-cleaned page is clean in the PTE but
+      // its truth lives in the backing store, which must stay fresh).
+      if (pte->dirty || backing_.count(vpn)) {
+        auto& store = backing_page(vpn);
+        pm_.read(pa, std::span<u8>(store.data(), store.size()));
+      }
+    } else {
+      // Shared file page: dirty writes back to the file; clean drops free.
+      if (pte->dirty) pm_.read(pa, fp->file->block_data(fp->block));
+    }
     pt_.unmap(p);
     frames_.free(pte->frame);
     resident_vpns_.erase(p / page);
@@ -98,7 +187,7 @@ void AddressSpace::read(VirtAddr va, std::span<u8> out) {
     const u64 off = a & (page - 1);
     const u64 n = std::min<u64>(page - off, out.size() - done);
     if (!pt_.is_mapped(a)) map_page(a);
-    if (observer_) pt_.set_accessed_dirty(a, /*dirty=*/false);
+    if (observer_ || !regions_.empty()) pt_.set_accessed_dirty(a, /*dirty=*/false);
     pm_.read(*translate(a), out.subspan(done, n));
     done += n;
   }
@@ -112,7 +201,12 @@ void AddressSpace::write(VirtAddr va, std::span<const u8> data) {
     const u64 off = a & (page - 1);
     const u64 n = std::min<u64>(page - off, data.size() - done);
     if (!pt_.is_mapped(a)) map_page(a);
-    if (observer_) pt_.set_accessed_dirty(a, /*dirty=*/true);
+    // Dirty truth matters beyond replacement once file regions exist: a
+    // MAP_SHARED page persists to its file only when its dirty bit is set,
+    // and a private file page diverges to swap on the same evidence — a
+    // software store that skipped the bookkeeping would be silently lost at
+    // eviction.
+    if (observer_ || !regions_.empty()) pt_.set_accessed_dirty(a, /*dirty=*/true);
     pm_.write(*translate(a), data.subspan(done, n));
     done += n;
   }

@@ -16,11 +16,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/backing_file.hpp"
 #include "mem/frames.hpp"
 #include "mem/pagetable.hpp"
 #include "mem/physmem.hpp"
 
 namespace vmsls::mem {
+
+/// Resolution of a file-backed virtual page: which block of which file the
+/// page reads from (and, for shared mappings, writes back to).
+struct FilePageRef {
+  BackingFile* file = nullptr;
+  u64 block = 0;
+  bool shared = false;
+};
 
 /// Watches residency changes in an address space. The pager daemon uses
 /// this to keep its replacement policy in sync with *every* map/unmap —
@@ -45,6 +54,30 @@ class AddressSpace {
 
   /// Reserves a virtual range (bump allocator); nothing is mapped yet.
   VirtAddr alloc(u64 bytes, u64 align = 16);
+
+  /// mmap-style region: reserves a page-aligned virtual range whose pages
+  /// resolve to `file` starting at `offset` (page-aligned, and the file must
+  /// cover the whole range). Nothing is mapped — first touch faults the
+  /// pages in lazily. `shared` picks MAP_SHARED semantics (dirty pages write
+  /// back to the file); private mappings copy-on-evict into the anonymous
+  /// backing store instead and the file stays pristine.
+  VirtAddr mmap(BackingFile& file, u64 offset, u64 bytes, bool shared);
+
+  /// Retrofits an already-allocated range [va, va+bytes) as file-backed:
+  /// current contents (resident frames and saved backing-store copies) are
+  /// captured into `file` at `offset`, which becomes the canonical copy.
+  /// Used by experiments to turn an elaborated buffer into an mmap'd input
+  /// without re-plumbing buffer allocation.
+  void bind_file(VirtAddr va, u64 bytes, BackingFile& file, u64 offset, bool shared);
+
+  /// File resolution for a vpn; nullopt for anonymous pages.
+  std::optional<FilePageRef> file_page(u64 vpn) const;
+
+  /// Persists a *resident* page's current bytes to where its lifecycle says
+  /// they belong: the file block for dirty-shared file pages, the anonymous
+  /// backing store otherwise. The pageout daemon calls this before cleaning
+  /// a page so a later clean drop loses nothing. No-op if not resident.
+  void sync_page(u64 vpn);
 
   /// Eagerly maps every page of [va, va+bytes) — pinned-buffer semantics.
   void populate(VirtAddr va, u64 bytes);
@@ -120,6 +153,14 @@ class AddressSpace {
   void set_reclaim_hook(ReclaimHook hook) { reclaim_ = std::move(hook); }
 
  private:
+  struct FileRegion {
+    u64 first_vpn = 0;
+    u64 pages = 0;
+    BackingFile* file = nullptr;
+    u64 first_block = 0;
+    bool shared = false;
+  };
+
   std::vector<u8>& backing_page(u64 vpn);
 
   PhysicalMemory& pm_;
@@ -127,6 +168,7 @@ class AddressSpace {
   PageTable pt_;
   VirtAddr brk_;
   std::unordered_map<u64, std::vector<u8>> backing_;  // vpn -> page contents
+  std::vector<FileRegion> regions_;                   // sorted by first_vpn, non-overlapping
   std::unordered_map<u64, u32> pins_;                 // vpn -> in-flight access count
   std::set<u64> resident_vpns_;  // ordered: deterministic policy seeding
   u64 demand_maps_ = 0;

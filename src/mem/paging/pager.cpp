@@ -10,7 +10,7 @@
 namespace vmsls::paging {
 
 Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name,
-             SwapScheduler* shared_swap)
+             SwapScheduler* shared_swap, BufferCache* shared_bcache)
     : sim_(sim),
       process_(process),
       as_(process.address_space()),
@@ -20,6 +20,10 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
           cfg.policy, [this](u64 vpn) { return probe_accessed(vpn); }, cfg.policy_seed)),
       evictions_(sim.stats().counter(name_ + ".evictions")),
       swap_ins_(sim.stats().counter(name_ + ".swap_ins")),
+      file_reads_(sim.stats().counter(name_ + ".file_reads")),
+      file_drops_(sim.stats().counter(name_ + ".file_drops")),
+      file_writebacks_(sim.stats().counter(name_ + ".file_writebacks")),
+      zero_fills_(sim.stats().counter(name_ + ".zero_fills")),
       writebacks_(sim.stats().counter(name_ + ".writebacks")),
       reclaims_(sim.stats().counter(name_ + ".reclaims")),
       pageouts_(sim.stats().counter(name_ + ".pageouts")),
@@ -42,6 +46,14 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
     sched_ = owned_swap_.get();
   }
   swap_owner_ = sched_->register_owner(name_);
+  if (shared_bcache != nullptr) {
+    bcache_ = shared_bcache;
+  } else {
+    owned_bcache_ =
+        std::make_unique<BufferCache>(sim, cfg_.bcache, as_.page_bytes(), name_ + ".bcache");
+    bcache_ = owned_bcache_.get();
+  }
+  bcache_client_ = bcache_->register_client(name_);
   page_bits_ = as_.page_table().config().page_bits;
   track_ws_ = cfg_.ws_interval > 0;
   policy_->set_pinned_probe([this](u64 vpn) { return as_.is_pinned_vpn(vpn); });
@@ -69,15 +81,31 @@ void Pager::on_map(u64 vpn) {
 }
 
 void Pager::on_unmap(u64 vpn, bool dirty) {
-  (void)dirty;  // contents always reach the backing store; the *time* for
-                // dirty pages is charged on the pager's own eviction path
   policy_->on_remove(vpn);
   if (track_ws_) ws_last_ref_.erase(vpn);
   // An external unmap (experiment-setup eviction) of a speculative page is
   // wasted work; the pager's own evictions settle the flag beforehand with
   // the accessed bit still readable.
   if (speculative_.erase(vpn) > 0) prefetch_wasted_.add();
-  sched_->note_swapped(swap_owner_, vpn);
+  // Lifecycle fork. Anonymous pages — and private file pages once they hold
+  // a diverged copy in the backing store — live in swap: the page gets a
+  // slot and every refault pays a swap-in. File pages whose truth is the
+  // file get no slot: clean ones drop for free, dirty shared ones write
+  // back through the buffer cache (bookkeeping now, device time absorbed in
+  // the background — this path never blocks, which is exactly why dirty
+  // shared-file victims are cheap on the fault path). This runs on *every*
+  // unmap — own eviction loop, pool global sweep, emergency reclaim, and
+  // experiment-setup evictions — so the two lifecycles partition all
+  // eviction traffic no matter who initiated it.
+  const auto fp = as_.file_page(vpn);
+  if (!fp || (!fp->shared && as_.has_backing(vpn))) {
+    sched_->note_swapped(swap_owner_, vpn);
+  } else if (fp->shared && dirty) {
+    file_writebacks_.add();
+    bcache_->write(bcache_client_, fp->file->id(), fp->block, VMSLS_TRACE_NEW_ID(sim_.trace()));
+  } else {
+    file_drops_.add();
+  }
   if (pool_) pool_->note_unmap(*this, vpn);
   note_activity();
 }
@@ -164,11 +192,16 @@ void Pager::ensure_frame_available(u64 trace_id, sim::EventFn then) {
       if (!victim) break;
       Pager& owner = *victim->owner;
       const bool dirty = owner.page_dirty(victim->vpn);
+      // Dirty *shared-file* victims write back through the buffer cache
+      // inside on_unmap and never block — only dirty swap-lifecycle pages
+      // suspend this loop on the device port.
+      const auto vfp = owner.as_.file_page(victim->vpn);
+      const bool swap_wb = dirty && (!vfp || !vfp->shared);
       log_debug(name_, "global evict ", owner.name_, " vpn=0x", std::hex, victim->vpn,
                 dirty ? " (dirty)" : " (clean)");
       pool_->record_eviction(*this, owner, trace_id);
       owner.evict_resident(victim->vpn);
-      if (dirty) {
+      if (swap_wb) {
         owner.writebacks_.add();
         const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
         owner.sched_->write(owner.swap_owner_, victim->vpn, SwapReqClass::kDemandWrite,
@@ -187,9 +220,11 @@ void Pager::ensure_frame_available(u64 trace_id, sim::EventFn then) {
     const auto victim = policy_->pick_victim();
     if (!victim) break;
     const bool dirty = page_dirty(*victim);
+    const auto vfp = as_.file_page(*victim);
+    const bool swap_wb = dirty && (!vfp || !vfp->shared);
     log_debug(name_, "evict vpn=0x", std::hex, *victim, dirty ? " (dirty)" : " (clean)");
     evict_resident(*victim);
-    if (dirty) {
+    if (swap_wb) {
       writebacks_.add();
       const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
       sched_->write(swap_owner_, *victim, SwapReqClass::kDemandWrite,
@@ -278,9 +313,25 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
             fid);
         issue_readahead(vpn);
       });
-    } else {
-      complete_fault(vpn, start, ready);
+      return;
     }
+    // File lifecycle: a first-touch (or clean-dropped) file page lazy-loads
+    // through the buffer cache — free on a hit, a demand-class device read
+    // on a miss — unless a private diverged copy exists, in which case the
+    // swap branch above already owned the page.
+    if (!as_.is_mapped(va) && !as_.has_backing(vpn)) {
+      if (const auto fp = as_.file_page(vpn)) {
+        file_reads_.add();
+        bcache_->read(bcache_client_, fp->file->id(), fp->block,
+                      [this, vpn, ready = std::move(ready), start]() mutable {
+                        complete_fault(vpn, start, ready);
+                      },
+                      fid);
+        return;
+      }
+      zero_fills_.add();
+    }
+    complete_fault(vpn, start, ready);
   });
 }
 
@@ -436,9 +487,22 @@ void Pager::pageout_tick() {
           if (cleaned >= cfg_.pageout_batch) return;
           if (as_.is_pinned_vpn(vpn)) return;  // in-flight access may re-dirty it
           if (as_.page_table().test_and_clear_dirty(vpn << page_bits())) {
-            sched_->write(swap_owner_, vpn, SwapReqClass::kWriteback, [] {},
-                          VMSLS_TRACE_NEW_ID(sim_.trace()));
-            pageouts_.add();
+            const auto fp = as_.file_page(vpn);
+            if (fp) {
+              // Clearing the dirty bit makes a later eviction a clean drop,
+              // so the page's truth must be persisted *now*: to the file
+              // block (shared) or the private backing copy.
+              as_.sync_page(vpn);
+            }
+            if (fp && fp->shared) {
+              file_writebacks_.add();
+              bcache_->write(bcache_client_, fp->file->id(), fp->block,
+                             VMSLS_TRACE_NEW_ID(sim_.trace()));
+            } else {
+              sched_->write(swap_owner_, vpn, SwapReqClass::kWriteback, [] {},
+                            VMSLS_TRACE_NEW_ID(sim_.trace()));
+              pageouts_.add();
+            }
             ++cleaned;
           }
         });

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "mem/address_space.hpp"
+#include "mem/paging/buffer_cache.hpp"
 #include "mem/paging/frame_pool.hpp"
 #include "mem/paging/replacement.hpp"
 #include "mem/paging/swap_scheduler.hpp"
@@ -69,6 +70,11 @@ struct PagerConfig {
   /// Swap timing plus the shared-device / scheduling / readahead knobs
   /// (see SwapConfig) — `swap.shared` selects the group-wide device.
   SwapConfig swap{};
+  /// File-device timing + cache sizing for file-backed regions (see
+  /// BufferCacheConfig). Only consulted when the pager owns a private
+  /// buffer cache; a ProcessGroup builds the machine-wide cache from the
+  /// platform's copy of these knobs instead.
+  BufferCacheConfig bcache{};
   u64 policy_seed = 1;  // feeds the RANDOM policy only
 
   /// kGlobal defers budget enforcement to the attached FramePool (the
@@ -95,9 +101,12 @@ class Pager final : public mem::ResidencyObserver {
   /// `shared_swap` non-null shares that scheduler (the ProcessGroup's "one
   /// flash part"); null gives the pager a private SwapScheduler named
   /// "<name>.swap" — the same front end either way, so a single-member
-  /// shared device is cycle-identical to a private one.
+  /// shared device is cycle-identical to a private one. `shared_bcache`
+  /// follows the same pattern for the file side: non-null shares the
+  /// group's machine-wide BufferCache, null builds a private one named
+  /// "<name>.bcache" from cfg.bcache.
   Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, std::string name,
-        SwapScheduler* shared_swap = nullptr);
+        SwapScheduler* shared_swap = nullptr, BufferCache* shared_bcache = nullptr);
   ~Pager() override;
 
   Pager(const Pager&) = delete;
@@ -126,6 +135,12 @@ class Pager final : public mem::ResidencyObserver {
   SwapView swap() const noexcept { return SwapView(*sched_, swap_owner_); }
   SwapScheduler& swap_scheduler() noexcept { return *sched_; }
   unsigned swap_owner() const noexcept { return swap_owner_; }
+
+  /// The file-I/O front end (owned or the group's shared cache) and this
+  /// pager's client id on it — the per-process hit/miss window.
+  BufferCache& buffer_cache() noexcept { return *bcache_; }
+  const BufferCache& buffer_cache() const noexcept { return *bcache_; }
+  unsigned bcache_client() const noexcept { return bcache_client_; }
 
   /// Background services (pageout daemon ticks) charge their CPU time on
   /// the OS service cores when a model is attached; nullptr = free ticks.
@@ -202,6 +217,16 @@ class Pager final : public mem::ResidencyObserver {
   u64 swap_ins() const noexcept { return swap_ins_.value(); }
   u64 writebacks() const noexcept { return writebacks_.value(); }
   u64 pageouts() const noexcept { return pageouts_.value(); }
+  /// File-lifecycle ledger (anon traffic never touches these, swap counters
+  /// never count file pages — the two lifecycles partition fault traffic):
+  /// demand faults served from the file tier (buffer-cache hit or device
+  /// read), clean file pages dropped for free at eviction, and dirty
+  /// shared-file pages written back through the buffer cache.
+  u64 file_reads() const noexcept { return file_reads_.value(); }
+  u64 file_drops() const noexcept { return file_drops_.value(); }
+  u64 file_writebacks() const noexcept { return file_writebacks_.value(); }
+  /// Demand faults that needed neither swap nor file: first-touch zero-fill.
+  u64 zero_fills() const noexcept { return zero_fills_.value(); }
   u64 prefetches() const noexcept { return prefetches_.value(); }
   u64 prefetch_useful() const noexcept { return prefetch_useful_.value(); }
   u64 prefetch_wasted() const noexcept { return prefetch_wasted_.value(); }
@@ -243,6 +268,9 @@ class Pager final : public mem::ResidencyObserver {
   std::unique_ptr<SwapScheduler> owned_swap_;  // private front end (no shared device)
   SwapScheduler* sched_ = nullptr;             // owned_swap_ or the group's shared scheduler
   unsigned swap_owner_ = 0;
+  std::unique_ptr<BufferCache> owned_bcache_;  // private file front end
+  BufferCache* bcache_ = nullptr;              // owned_bcache_ or the group's shared cache
+  unsigned bcache_client_ = 0;
   std::unique_ptr<ReplacementPolicy> policy_;
   FramePool* pool_ = nullptr;
   rt::OsModel* os_ = nullptr;
@@ -290,6 +318,10 @@ class Pager final : public mem::ResidencyObserver {
 
   Counter& evictions_;
   Counter& swap_ins_;
+  Counter& file_reads_;
+  Counter& file_drops_;
+  Counter& file_writebacks_;
+  Counter& zero_fills_;
   Counter& writebacks_;
   Counter& reclaims_;
   Counter& pageouts_;

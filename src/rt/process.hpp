@@ -53,6 +53,14 @@ class Process {
   /// are charged by the caller. Returns the frame.
   u64 map_in(VirtAddr va) { return as_.map_page(va, /*writable=*/true); }
 
+  /// mmap-style mapping of a backing file: reserves a lazy file-backed
+  /// region (nothing resident, nothing to shoot down — first touch faults
+  /// each page in through the pager's file path). `shared` picks MAP_SHARED
+  /// write-back-to-file semantics over private copy-on-evict.
+  VirtAddr mmap(mem::BackingFile& file, u64 offset, u64 bytes, bool shared) {
+    return as_.mmap(file, offset, bytes, shared);
+  }
+
   /// Evicts resident pages in the range and shoots down every hardware TLB
   /// and the shared walk cache. Returns pages evicted.
   u64 evict(VirtAddr va, u64 bytes);

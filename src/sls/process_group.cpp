@@ -20,6 +20,12 @@ ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
   // swap traffic queues against each other like bus traffic does.
   if (platform_.pager.swap.shared)
     swap_ = std::make_unique<paging::SwapScheduler>(sim_, platform_.pager.swap, page, "swap");
+  // One file tier for the whole group, unconditionally: files are
+  // meaningful only machine-wide (the same bytes mapped by every process),
+  // and the buffer cache in front of the file device is what turns that
+  // sharing into cross-process read hits.
+  files_ = std::make_unique<mem::FileStore>(page);
+  bcache_ = std::make_unique<paging::BufferCache>(sim_, platform_.pager.bcache, page, "bcache");
   if (platform_.telemetry.period > 0) {
     telemetry_ = std::make_unique<sim::TelemetrySampler>(sim_, platform_.telemetry.period);
     telemetry_->trace_counters = platform_.telemetry.trace_counters;
@@ -44,6 +50,12 @@ ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
         return static_cast<double>(swap_->queue_depth_class(SwapReqClass::kWriteback));
       });
     }
+    telemetry_->add_probe("bcache.cached",
+                          [this] { return static_cast<double>(bcache_->cached_blocks()); });
+    telemetry_->add_probe("bcache.dirty",
+                          [this] { return static_cast<double>(bcache_->dirty_blocks()); });
+    telemetry_->add_probe("bcache.queue",
+                          [this] { return static_cast<double>(bcache_->queue_depth()); });
   }
 }
 
@@ -61,6 +73,8 @@ System& ProcessGroup::add_process(const SystemImage& image, const std::string& i
   shared.os = os_.get();
   shared.pool = pool_.get();
   shared.swap = swap_.get();
+  shared.files = files_.get();
+  shared.bcache = bcache_.get();
   systems_.push_back(image.elaborate(sim_, shared, instance));
   instances_.push_back(instance);
   System& sys = *systems_.back();

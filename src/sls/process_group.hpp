@@ -50,6 +50,13 @@ class ProcessGroup {
   /// pages against a private device.
   paging::SwapScheduler* shared_swap() noexcept { return swap_.get(); }
 
+  /// Machine-wide file registry and block cache — always present: every
+  /// member process mmaps regions of the same files, and their pagers share
+  /// one buffer cache (process B's read hits on the block process A
+  /// faulted in — the shared-library effect).
+  mem::FileStore& files() noexcept { return *files_; }
+  paging::BufferCache& buffer_cache() noexcept { return *bcache_; }
+
   /// The group's pressure time-series sampler, present when the platform
   /// sets `telemetry.period > 0`; probes cover the pool, the frame
   /// allocator, the shared swap queue (per class), and every process added
@@ -73,6 +80,8 @@ class ProcessGroup {
   std::unique_ptr<rt::OsModel> os_;
   std::unique_ptr<paging::FramePool> pool_;
   std::unique_ptr<paging::SwapScheduler> swap_;
+  std::unique_ptr<mem::FileStore> files_;
+  std::unique_ptr<paging::BufferCache> bcache_;
   std::unique_ptr<sim::TelemetrySampler> telemetry_;
   std::vector<std::unique_ptr<System>> systems_;
   std::vector<std::string> instances_;

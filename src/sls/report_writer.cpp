@@ -60,6 +60,8 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
   };
   os << "pager: evictions=" << at("evictions") << " swap_ins=" << at("swap_ins")
      << " swap_outs=" << at("swap.writes") << " writebacks=" << at("writebacks")
+     << " file_reads=" << at("file_reads") << " file_drops=" << at("file_drops")
+     << " file_writebacks=" << at("file_writebacks") << " zero_fills=" << at("zero_fills")
      << " reclaims=" << at("reclaims") << " mean_fault_stall=" << at("fault_stall.mean")
      << " p50_fault_stall=" << at("fault_stall.p50")
      << " p95_fault_stall=" << at("fault_stall.p95")
@@ -102,6 +104,26 @@ void write_swap_summary(std::ostream& os, const StatRegistry& stats,
      << " prefetch_reads=" << at("sched.prefetch_reads")
      << " writebacks=" << at("sched.writebacks")
      << " wb_promotions=" << at("sched.wb_promotions") << "\n";
+}
+
+void write_file_cache_summary(std::ostream& os, const StatRegistry& stats,
+                              const std::string& cache_name) {
+  const auto bc = stats.snapshot_prefix(cache_name + ".");
+  if (bc.empty()) {
+    os << "bcache: inactive (no buffer cache named '" << cache_name << "')\n";
+    return;
+  }
+  const auto at = [&bc, &cache_name](const std::string& key) {
+    auto it = bc.find(cache_name + "." + key);
+    return it == bc.end() ? 0.0 : it->second;
+  };
+  const double lookups = at("hits") + at("misses");
+  os << "bcache: hits=" << at("hits") << " misses=" << at("misses")
+     << " hit_rate=" << (lookups > 0 ? at("hits") / lookups : 0.0)
+     << " merged_reads=" << at("merged_reads") << " device_reads=" << at("reads")
+     << " device_writes=" << at("writes") << " flushes=" << at("flushes")
+     << " evictions=" << at("evictions") << " read_wait_mean=" << at("read_wait.mean")
+     << " read_wait_max=" << at("read_wait.max") << "\n";
 }
 
 void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,

@@ -42,6 +42,14 @@ void write_pager_summary(std::ostream& os, const StatRegistry& stats,
 void write_swap_summary(std::ostream& os, const StatRegistry& stats,
                         const std::string& swap_name = "swap");
 
+/// One-line summary of a buffer cache (the file-I/O front end) after a run:
+/// hit rate, merged reads, device transfers, flush-daemon and capacity
+/// writebacks, and read-wait moments. Works for the group-wide cache
+/// (`cache_name` = "bcache") and a private one ("pager.bcache"). Quiet
+/// (prints a note) when the registry holds no such counters.
+void write_file_cache_summary(std::ostream& os, const StatRegistry& stats,
+                              const std::string& cache_name = "bcache");
+
 /// One-line summary of a shared FramePool after a multi-process
 /// over-subscription run: pool evictions, cross-process evictions, and
 /// auto-budget rebalances. Quiet (prints a note) when the registry holds

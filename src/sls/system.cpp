@@ -53,6 +53,14 @@ void System::build(const SharedSubstrate* shared) {
     dram_ = owned_dram_.get();
     bus_ = owned_bus_.get();
   }
+  if (shared != nullptr && shared->files != nullptr) {
+    files_ = shared->files;
+    require(files_->block_bytes() == page,
+            "shared file store block size does not match the platform page size");
+  } else {
+    owned_files_ = std::make_unique<mem::FileStore>(page);
+    files_ = owned_files_.get();
+  }
   as_ = std::make_unique<mem::AddressSpace>(*pm_, *frames_, plat.page_table);
   process_ = std::make_unique<rt::Process>(sim_, *as_, inst_ + app.name);
   walker_ = std::make_unique<mem::PageWalker>(sim_, *bus_, *pm_, as_->page_table(), plat.walker,
@@ -71,8 +79,9 @@ void System::build(const SharedSubstrate* shared) {
     // A substrate-supplied SwapScheduler shares one flash part across all
     // member pagers; otherwise the pager owns a private one.
     paging::SwapScheduler* shared_swap = shared != nullptr ? shared->swap : nullptr;
+    paging::BufferCache* shared_bcache = shared != nullptr ? shared->bcache : nullptr;
     pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager",
-                                             shared_swap);
+                                             shared_swap, shared_bcache);
     pager_->set_os(os_, plat.os.daemon_service);
     if (pool_ != nullptr) pool_->attach(*pager_);
     faults_->set_pager(pager_.get());

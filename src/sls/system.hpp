@@ -53,6 +53,11 @@ struct SharedSubstrate {
   rt::OsModel* os = nullptr;
   paging::FramePool* pool = nullptr;
   paging::SwapScheduler* swap = nullptr;
+  /// Machine-wide file registry + block cache for file-backed mappings.
+  /// `files` may be null (processes then cannot mmap through the group) and
+  /// `bcache` may be null (each pager keeps a private buffer cache).
+  mem::FileStore* files = nullptr;
+  paging::BufferCache* bcache = nullptr;
 };
 
 class System {
@@ -81,6 +86,10 @@ class System {
   /// Present when the platform configures a frame budget (pager.frame_budget
   /// > 0) or the system shares a FramePool; nullptr otherwise.
   paging::Pager* pager() noexcept { return pager_.get(); }
+
+  /// File registry backing mmap regions: the substrate's machine-wide store
+  /// when elaborated into one, else a private store (block size = page size).
+  mem::FileStore& files() noexcept { return *files_; }
 
   /// Stat-name prefix of this instance ("" for a standalone system).
   const std::string& instance() const noexcept { return inst_; }
@@ -150,6 +159,8 @@ class System {
   mem::MemoryBus* bus_ = nullptr;
   rt::OsModel* os_ = nullptr;
   paging::FramePool* pool_ = nullptr;
+  std::unique_ptr<mem::FileStore> owned_files_;
+  mem::FileStore* files_ = nullptr;
 
   // Per-process components, always owned.
   std::unique_ptr<mem::AddressSpace> as_;

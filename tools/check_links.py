@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check intra-repo links and anchors in the repo's markdown docs.
+
+For every tracked *.md file (or the files given on the command line):
+  - every relative markdown link `[text](path)` must resolve to an
+    existing file or directory (query strings are not expected; `#frag`
+    anchors are split off first);
+  - an anchor into a markdown file (`other.md#section-title`) must match
+    a heading in the target, using GitHub's slug rules (lowercase,
+    spaces -> dashes, punctuation dropped);
+  - bare in-file anchors (`#section`) are checked against the file's own
+    headings;
+  - http(s)/mailto links are skipped — CI stays hermetic (no network).
+
+Code spans and fenced code blocks are stripped before scanning, so
+`snippets like [i](j)` inside backticks are not treated as links.
+
+Usage: check_links.py [FILE.md ...]      (default: git ls-files '*.md')
+Exits nonzero listing every broken link.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+CODESPAN_RE = re.compile(r"`[^`\n]*`")
+
+
+def slug(heading: str) -> str:
+    """GitHub-style heading slug: lowercase, punctuation out, spaces -> dashes."""
+    text = CODESPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\s-]", "", text.lower())
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def rel(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def headings_of(path: Path) -> set:
+    body = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slug(h) for h in HEADING_RE.findall(body)}
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    body = FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+    body = CODESPAN_RE.sub("", body)
+    for target in LINK_RE.findall(body):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, frag = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{rel(md)}: broken link -> {target}")
+            continue
+        if frag and dest.suffix == ".md":
+            if slug(frag) not in headings_of(dest):
+                errors.append(f"{rel(md)}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        files = [Path(a).resolve() for a in sys.argv[1:]]
+    else:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md"], cwd=REPO, check=True,
+            capture_output=True, text=True,
+        ).stdout
+        files = [REPO / line for line in out.splitlines() if line]
+
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"check_links: FAIL: {len(errors)} broken link(s)", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_links: OK ({len(files)} markdown files)")
+
+
+if __name__ == "__main__":
+    main()
