@@ -62,8 +62,22 @@ class EngineBenchReport {
     add(name, r.cycles, r.events, r.host_ms);
   }
 
+  /// Attaches an extra numeric metric to an already-added section (e.g.
+  /// fig14's dedup_ratio / cow_fault_cycles). Extra metrics land in the JSON
+  /// next to events_per_sec; once present in the committed baseline,
+  /// check_bench.py gates them too.
+  void add_metric(const std::string& section, const std::string& key, double value) {
+    for (auto& e : entries_) {
+      if (e.name == section) {
+        e.extra.emplace_back(key, value);
+        return;
+      }
+    }
+    throw std::runtime_error("EngineBenchReport: no section '" + section + "' to attach " + key);
+  }
+
   /// Writes the accumulated entries as a JSON array. Schema per entry:
-  ///   {"name", "cycles", "events", "host_ms", "events_per_sec"}
+  ///   {"name", "cycles", "events", "host_ms", "events_per_sec", extras...}
   /// "cycles" is 0 for host-only sections with no simulated-time span.
   void write_json(const std::string& path = "BENCH_engine.json") const {
     std::ofstream out(path);
@@ -74,8 +88,9 @@ class EngineBenchReport {
       const double eps = e.host_ms > 0 ? static_cast<double>(e.events) / (e.host_ms / 1000.0) : 0;
       out << "  {\"name\": \"" << e.name << "\", \"cycles\": " << e.cycles
           << ", \"events\": " << e.events << ", \"host_ms\": " << e.host_ms
-          << ", \"events_per_sec\": " << eps << "}" << (i + 1 < entries_.size() ? "," : "")
-          << "\n";
+          << ", \"events_per_sec\": " << eps;
+      for (const auto& [key, value] : e.extra) out << ", \"" << key << "\": " << value;
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
     out << "]\n";
   }
@@ -88,6 +103,7 @@ class EngineBenchReport {
     Cycles cycles = 0;
     u64 events = 0;
     double host_ms = 0;
+    std::vector<std::pair<std::string, double>> extra;
   };
   std::vector<Entry> entries_;
 };

@@ -99,6 +99,21 @@ void AddressSpace::sync_page(u64 vpn) {
 u64 AddressSpace::map_page(VirtAddr va, bool writable) {
   const u64 page = page_bytes();
   const VirtAddr base = align_down(va, page);
+  const u64 vpn = base / page;
+  const auto fp = file_page(vpn);
+  // A MAP_SHARED block another address space already holds resident is
+  // mapped by reference: same frame, one more sharer, no fill (the frame's
+  // bytes are the block's current truth — possibly newer than the file).
+  if (share_ != nullptr && fp && fp->shared) {
+    if (const auto shared = share_->lookup(fp->file->id(), fp->block)) {
+      frames_.ref(*shared);
+      pt_.map(base, *shared, writable);
+      resident_vpns_.insert(vpn);
+      ++demand_maps_;
+      if (observer_) observer_->on_map(vpn, *shared);
+      return *shared;
+    }
+  }
   // Under exhaustion, reclaim enough for the data frame plus any interior
   // table frames pt_.map may need to create below (at most levels - 1).
   auto frame = frames_.alloc();
@@ -108,18 +123,19 @@ u64 AddressSpace::map_page(VirtAddr va, bool writable) {
   const PhysAddr pa = frames_.frame_addr(*frame);
   // Fill order: a saved anonymous/private copy wins over the file (it holds
   // the page's private modifications), the file wins over zero-fill.
-  auto it = backing_.find(base / page);
+  auto it = backing_.find(vpn);
   if (it != backing_.end()) {
     pm_.write(pa, std::span<const u8>(it->second.data(), it->second.size()));
-  } else if (const auto fp = file_page(base / page)) {
+  } else if (fp) {
     pm_.write(pa, fp->file->block_data(fp->block));
   } else {
     pm_.clear(pa, page);
   }
   pt_.map(base, *frame, writable);
-  resident_vpns_.insert(base / page);
+  resident_vpns_.insert(vpn);
   ++demand_maps_;
-  if (observer_) observer_->on_map(base / page);
+  if (share_ != nullptr && fp && fp->shared) share_->insert(fp->file->id(), fp->block, *frame);
+  if (observer_) observer_->on_map(vpn, *frame);
   return *frame;
 }
 
@@ -155,12 +171,66 @@ u64 AddressSpace::evict(VirtAddr va, u64 bytes) {
       if (pte->dirty) pm_.read(pa, fp->file->block_data(fp->block));
     }
     pt_.unmap(p);
-    frames_.free(pte->frame);
-    resident_vpns_.erase(p / page);
+    const u64 sharers_left = frames_.free(pte->frame);
+    resident_vpns_.erase(vpn);
+    if (share_ != nullptr && fp && fp->shared && sharers_left == 0)
+      share_->erase(fp->file->id(), fp->block);
     ++evicted;
-    if (observer_) observer_->on_unmap(p / page, pte->dirty);
+    if (observer_) observer_->on_unmap(vpn, pte->dirty, pte->frame, sharers_left);
   }
   return evicted;
+}
+
+u64 AddressSpace::fork_from(AddressSpace& parent) {
+  require(&pm_ == &parent.pm_ && &frames_ == &parent.frames_,
+          "fork_from requires both address spaces to live on one physical machine");
+  require(resident_vpns_.empty() && regions_.empty() && backing_.empty(),
+          "fork_from target must be a fresh address space");
+  brk_ = parent.brk_;
+  regions_ = parent.regions_;
+  backing_ = parent.backing_;  // inherited swap/file-divergence copies
+  const u64 page = page_bytes();
+  u64 shared = 0;
+  for (const u64 vpn : parent.resident_vpns_) {
+    const VirtAddr va = vpn * page;
+    const auto pte = parent.pt_.lookup(va);
+    require(pte.has_value(), "fork_from: resident page has no PTE");
+    const auto fp = parent.file_page(vpn);
+    const bool truly_shared = fp && fp->shared;  // MAP_SHARED: writes stay shared
+    if (!truly_shared && pte->writable) parent.pt_.set_writable(va, false);
+    frames_.ref(pte->frame);
+    pt_.map(va, pte->frame, truly_shared ? pte->writable : false);
+    resident_vpns_.insert(vpn);
+    if (observer_) observer_->on_map(vpn, pte->frame);
+    ++shared;
+  }
+  return shared;
+}
+
+AddressSpace::CowResult AddressSpace::cow_resolve(VirtAddr va) {
+  const u64 page = page_bytes();
+  const VirtAddr base = align_down(va, page);
+  const u64 vpn = base / page;
+  const auto pte = pt_.lookup(base);
+  require(pte.has_value(), "cow_resolve of an unmapped page");
+  if (pte->writable) return CowResult{false, pte->frame};  // a racer resolved first
+  if (frames_.refcount(pte->frame) == 1) {
+    // Sole mapping left (sharers evicted or already diverged): re-enable
+    // write in place, no copy.
+    pt_.set_writable(base, true);
+    return CowResult{false, pte->frame};
+  }
+  auto frame = frames_.alloc();
+  if (!frame && reclaim_ && reclaim_(1) > 0) frame = frames_.alloc();
+  if (!frame) throw std::runtime_error("AddressSpace: out of physical frames for a COW copy");
+  std::vector<u8> buf(page);
+  pm_.read(frames_.frame_addr(pte->frame), std::span<u8>(buf.data(), buf.size()));
+  pm_.write(frames_.frame_addr(*frame), std::span<const u8>(buf.data(), buf.size()));
+  pt_.unmap(base);
+  pt_.map(base, *frame, /*writable=*/true);
+  frames_.free(pte->frame);  // drop this space's reference on the shared frame
+  if (observer_) observer_->on_cow(vpn, pte->frame, *frame);
+  return CowResult{true, *frame};
 }
 
 void AddressSpace::pin(VirtAddr va) { ++pins_[va / page_bytes()]; }
@@ -200,7 +270,15 @@ void AddressSpace::write(VirtAddr va, std::span<const u8> data) {
     const VirtAddr a = va + done;
     const u64 off = a & (page - 1);
     const u64 n = std::min<u64>(page - off, data.size() - done);
-    if (!pt_.is_mapped(a)) map_page(a);
+    const auto pte = pt_.lookup(a);
+    if (!pte) {
+      map_page(a);
+    } else if (!pte->writable) {
+      // Software store to a COW mapping: break the share first (zero modeled
+      // cost, like every software access). Hardware writes take the MMU
+      // permission-fault path instead, where the pager charges the copy.
+      cow_resolve(a);
+    }
     // Dirty truth matters beyond replacement once file regions exist: a
     // MAP_SHARED page persists to its file only when its dirty bit is set,
     // and a private file page diverges to swap on the same evidence — a

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/backing_file.hpp"
+#include "mem/frame_share.hpp"
 #include "mem/frames.hpp"
 #include "mem/pagetable.hpp"
 #include "mem/physmem.hpp"
@@ -38,8 +39,15 @@ struct FilePageRef {
 class ResidencyObserver {
  public:
   virtual ~ResidencyObserver() = default;
-  virtual void on_map(u64 vpn) = 0;
-  virtual void on_unmap(u64 vpn, bool dirty) = 0;
+  virtual void on_map(u64 vpn, u64 frame) = 0;
+  /// `sharers_left` is the frame's remaining reference count after this
+  /// unmap: 0 means the frame was actually reclaimed, >0 means another
+  /// mapping (typically in a different address space) still holds it.
+  virtual void on_unmap(u64 vpn, bool dirty, u64 frame, u64 sharers_left) = 0;
+  /// A COW break replaced this space's mapping of `old_frame` with a
+  /// freshly-copied private `new_frame`. Residency is unchanged; only the
+  /// frame identity moved.
+  virtual void on_cow(u64 vpn, u64 old_frame, u64 new_frame) = 0;
 };
 
 class AddressSpace {
@@ -90,6 +98,38 @@ class AddressSpace {
   /// backing store, PTEs invalidated, frames freed. Returns the number of
   /// pages evicted. Callers must shoot down TLBs afterwards.
   u64 evict(VirtAddr va, u64 bytes);
+
+  /// Clones `parent`'s memory image into this (fresh) address space: the
+  /// virtual layout (brk, file regions) and backing-store copies are
+  /// inherited, and every resident parent page is mapped *by reference* —
+  /// MAP_SHARED file pages stay writable (one frame, true sharing), while
+  /// anonymous and private-file pages are downgraded to read-only in both
+  /// spaces and copy on first write. Returns the number of pages shared.
+  /// The caller must shoot down the parent's TLBs afterwards (write
+  /// permissions were revoked); Process::fork does this.
+  u64 fork_from(AddressSpace& parent);
+
+  /// Outcome of a COW break: `copied` distinguishes a private-copy split
+  /// (refcount was > 1 — `frame` is the new private frame) from a simple
+  /// write-upgrade of a sole mapping (`frame` unchanged).
+  struct CowResult {
+    bool copied = false;
+    u64 frame = 0;
+  };
+
+  /// Resolves a write fault on a read-only mapping: refcount 1 re-enables
+  /// write in place; a shared frame is split — allocate, copy the page
+  /// bytes, remap writable, drop one reference on the old frame. No-op for
+  /// already-writable pages (a racing sharer resolved first). When a copy
+  /// happens the caller must shoot down this process's TLBs for the page
+  /// (the cached frame number went stale); Process::cow_break does this.
+  CowResult cow_resolve(VirtAddr va);
+
+  /// Frame backing a resident vpn; nullopt when not resident.
+  std::optional<u64> frame_of(u64 vpn) const {
+    const auto pte = pt_.lookup(vpn * page_bytes());
+    return pte ? std::optional<u64>(pte->frame) : std::nullopt;
+  }
 
   bool is_mapped(VirtAddr va) const { return pt_.is_mapped(va); }
 
@@ -145,6 +185,14 @@ class AddressSpace {
   /// At most one observer; pass nullptr to detach.
   void set_residency_observer(ResidencyObserver* obs) noexcept { observer_ = obs; }
 
+  /// Machine-wide shared-frame index (one per ProcessGroup / bench rig):
+  /// when set, demand maps of MAP_SHARED file pages resolve to the frame
+  /// another address space already holds resident instead of filling a
+  /// duplicate, and the last sharer's eviction retires the entry. Pass
+  /// nullptr to detach.
+  void set_share_index(FrameShareIndex* index) noexcept { share_ = index; }
+  const FrameShareIndex* share_index() const noexcept { return share_; }
+
   /// Last-resort reclaim under frame exhaustion: called with the number of
   /// frames needed; returns frames actually freed. map_page retries the
   /// allocation once after invoking it. Pass nullptr (or an empty function)
@@ -173,6 +221,7 @@ class AddressSpace {
   std::set<u64> resident_vpns_;  // ordered: deterministic policy seeding
   u64 demand_maps_ = 0;
   ResidencyObserver* observer_ = nullptr;
+  FrameShareIndex* share_ = nullptr;
   ReclaimHook reclaim_;
 };
 

@@ -8,7 +8,7 @@ namespace vmsls::mem {
 
 FrameAllocator::FrameAllocator(PhysAddr base, u64 frame_count, u64 frame_bytes)
     : base_(base), frame_bytes_(frame_bytes), total_(frame_count), free_count_(frame_count),
-      used_(frame_count, false) {
+      used_(frame_count, false), refs_(frame_count, 0) {
   require(frame_bytes > 0 && is_pow2(frame_bytes), "frame size must be a power of two");
   require(is_aligned(base, frame_bytes), "frame region base must be frame aligned");
   require(frame_count > 0, "frame region must contain frames");
@@ -26,6 +26,7 @@ std::optional<u64> FrameAllocator::alloc() {
     const u64 idx = (scan_hint_ + i) % total_;
     if (!used_[idx]) {
       used_[idx] = true;
+      refs_[idx] = 1;
       --free_count_;
       peak_used_ = std::max(peak_used_, total_ - free_count_);
       scan_hint_ = idx + 1;
@@ -43,7 +44,10 @@ std::optional<u64> FrameAllocator::alloc_contiguous(u64 count) {
     run = used_[idx] ? 0 : run + 1;
     if (run == count) {
       const u64 first = idx + 1 - count;
-      for (u64 j = first; j <= idx; ++j) used_[j] = true;
+      for (u64 j = first; j <= idx; ++j) {
+        used_[j] = true;
+        refs_[j] = 1;
+      }
       free_count_ -= count;
       peak_used_ = std::max(peak_used_, total_ - free_count_);
       return (base_ + first * frame_bytes_) / frame_bytes_;
@@ -52,18 +56,37 @@ std::optional<u64> FrameAllocator::alloc_contiguous(u64 count) {
   return std::nullopt;
 }
 
-void FrameAllocator::free(u64 frame) {
+void FrameAllocator::ref(u64 frame) {
+  const u64 idx = index_of(frame);
+  require(used_[idx], "ref of an unallocated frame");
+  ++refs_[idx];
+}
+
+u64 FrameAllocator::free(u64 frame) {
   const u64 idx = index_of(frame);
   require(used_[idx], "double free of physical frame");
+  require(refs_[idx] > 0, "frame refcount underflow");
+  if (--refs_[idx] > 0) return refs_[idx];
   used_[idx] = false;
   ++free_count_;
   scan_hint_ = idx;
+  return 0;
 }
 
 void FrameAllocator::free_contiguous(u64 first_frame, u64 count) {
-  for (u64 i = 0; i < count; ++i) free(first_frame + i);
+  for (u64 i = 0; i < count; ++i) {
+    // Contiguous runs back pinned DMA buffers, which are never shared — a
+    // straggling reference here would leave a hole in the run.
+    require(refs_[index_of(first_frame + i)] == 1, "freeing a shared frame from a contiguous run");
+    free(first_frame + i);
+  }
 }
 
 bool FrameAllocator::is_allocated(u64 frame) const { return used_[index_of(frame)]; }
+
+u64 FrameAllocator::refcount(u64 frame) const {
+  const u64 idx = index_of(frame);
+  return used_[idx] ? refs_[idx] : 0;
+}
 
 }  // namespace vmsls::mem

@@ -37,10 +37,21 @@ class FrameAllocator {
   /// baseline.
   std::optional<u64> alloc_contiguous(u64 count);
 
-  void free(u64 frame);
+  /// Adds a sharer to an allocated frame (fork/COW sharing: one frame backs
+  /// several page mappings). Each mapping releases with free(); the frame is
+  /// only returned to the pool when the last reference drops.
+  void ref(u64 frame);
+
+  /// Releases one reference; frees the frame when it was the last. Returns
+  /// the number of references remaining (0 = frame actually freed), so
+  /// eviction paths can tell "sharer released" from "frame reclaimed".
+  u64 free(u64 frame);
   void free_contiguous(u64 first_frame, u64 count);
 
   bool is_allocated(u64 frame) const;
+
+  /// Current reference count (0 for unallocated frames).
+  u64 refcount(u64 frame) const;
 
   PhysAddr frame_addr(u64 frame) const noexcept { return frame * frame_bytes_; }
 
@@ -52,6 +63,7 @@ class FrameAllocator {
   u64 total_;
   u64 free_count_;
   std::vector<bool> used_;  // indexed by local frame index
+  std::vector<u32> refs_;   // sharer count per frame; 0 when unallocated
   u64 scan_hint_ = 0;       // next index to try, keeps alloc O(1) amortized
   u64 peak_used_ = 0;
 };

@@ -56,8 +56,9 @@ void Mmu::translate(VirtAddr va, bool is_write, std::function<void(PhysAddr)> do
       tlb_.invalidate(vpn);
     } else {
       // Keep the PTE's accessed/dirty bits fresh on TLB hits too, or the
-      // pager's CLOCK hand would evict pages that are hot in the TLB.
-      if (cfg_.ad_tracking) walker_.page_table().set_accessed_dirty(va, is_write);
+      // pager's CLOCK hand would evict pages that are hot in the TLB. The
+      // walker funnel charges the PTE write-back when a bit flips.
+      if (cfg_.ad_tracking) walker_.note_ad_update(va, is_write);
       const PhysAddr pa = (entry->frame << page_bits) | offset;
       const Cycles hit_latency = tlb_.config().hit_latency;
       if (hit_latency == 0) {
@@ -95,7 +96,7 @@ void Mmu::on_walk_done(VirtAddr va, bool is_write, std::function<void(PhysAddr)>
     sink_->raise(std::move(req));
     return;
   }
-  if (is_write) walker_.page_table().set_accessed_dirty(va, /*dirty=*/true);
+  if (is_write) walker_.note_ad_update(va, /*dirty=*/true);
   tlb_.insert(va >> page_bits, r.frame, r.writable);
   const PhysAddr pa = (r.frame << page_bits) | (va & ((1ull << page_bits) - 1));
   done(pa);

@@ -130,14 +130,24 @@ std::optional<Pte> PageTable::lookup(VirtAddr va) const {
   return std::nullopt;  // unreachable; levels_ >= 1
 }
 
-void PageTable::set_accessed_dirty(VirtAddr va, bool dirty) const {
+bool PageTable::set_accessed_dirty(VirtAddr va, bool dirty) const {
   auto leaf = find_leaf_pte_addr(va);
-  if (!leaf) return;
+  if (!leaf) return false;
   Pte pte = Pte::decode(pm_.read_u64(*leaf));
-  if (!pte.valid) return;
-  if (pte.accessed && (pte.dirty || !dirty)) return;  // already in the target state
+  if (!pte.valid) return false;
+  if (pte.accessed && (pte.dirty || !dirty)) return false;  // already in the target state
   pte.accessed = true;
   pte.dirty = pte.dirty || dirty;
+  pm_.write_u64(*leaf, pte.encode());
+  return true;
+}
+
+void PageTable::set_writable(VirtAddr va, bool writable) {
+  auto leaf = find_leaf_pte_addr(va);
+  if (!leaf) throw std::logic_error("PageTable::set_writable: page not mapped");
+  Pte pte = Pte::decode(pm_.read_u64(*leaf));
+  if (!pte.valid) throw std::logic_error("PageTable::set_writable: page not mapped");
+  pte.writable = writable;
   pm_.write_u64(*leaf, pte.encode());
 }
 

@@ -75,8 +75,20 @@ class PageTable {
   /// Sets accessed (and optionally dirty) bits on the leaf PTE. Const: the
   /// mutation targets simulated memory contents, not table structure — the
   /// MMU and walker call this through their const table references on every
-  /// translation, which is what arms the replacement policies.
-  void set_accessed_dirty(VirtAddr va, bool dirty) const;
+  /// translation, which is what arms the replacement policies. Returns true
+  /// when a bit actually changed (the PTE was written), which is what the
+  /// walker's timed A/D write-back charges for.
+  bool set_accessed_dirty(VirtAddr va, bool dirty) const;
+
+  /// Rewrites the leaf PTE's write permission in place (fork downgrades a
+  /// shared page to read-only; COW resolution re-enables write). Accessed
+  /// and dirty bits are preserved. Throws if the page is not mapped.
+  void set_writable(VirtAddr va, bool writable);
+
+  /// Physical address of the leaf PTE for `va`; nullopt when any interior
+  /// level is missing. The walker uses this to aim its A/D write-back at
+  /// the actual PTE bytes on the bus.
+  std::optional<PhysAddr> leaf_addr(VirtAddr va) const { return find_leaf_pte_addr(va); }
 
   /// Reads and clears the accessed bit (the CLOCK/aging sweep primitive).
   /// Returns false when the page is unmapped.

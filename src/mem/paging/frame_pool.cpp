@@ -26,42 +26,49 @@ FramePool::FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::strin
       rebalances_(sim.stats().counter(name_ + ".rebalances")) {
   trace_track_ = sim_.trace().track(name_);
   // The global sweep reuses the per-process policy implementations over
-  // packed (member, vpn) keys; accessed bits resolve through the owner's
-  // page table.
+  // frame numbers; probes aggregate over the frame's owner-set, resolving
+  // through each sharer's page table.
   policy_ = make_policy(
       cfg_.policy,
-      AccessedProbe([this](u64 key) {
-        const auto member = key >> kMemberShift;
-        const u64 vpn = key & ((1ull << kMemberShift) - 1);
-        Pager* p = member < members_.size() ? members_[member] : nullptr;
-        return p != nullptr && p->probe_accessed(vpn);
+      AccessedProbe([this](u64 frame) {
+        const auto it = owners_.find(frame);
+        if (it == owners_.end()) return false;
+        // Probe *every* sharer (each test-and-clears its own PTE bit) and OR
+        // the results — short-circuiting would leave later sharers' bits
+        // set, making the frame look perpetually hot to the sweep.
+        bool any = false;
+        for (const auto& [p, vpn] : it->second)
+          if (p->probe_accessed(vpn)) any = true;
+        return any;
       }),
       cfg_.policy_seed);
-  policy_->set_pinned_probe([this](u64 key) {
-    const auto member = key >> kMemberShift;
-    const u64 vpn = key & ((1ull << kMemberShift) - 1);
-    Pager* p = member < members_.size() ? members_[member] : nullptr;
-    return p != nullptr && p->space().is_pinned_vpn(vpn);
+  // A pin held by *any* sharer excludes the frame for all of them: the
+  // pinned mapping backs an in-flight access against these exact bytes.
+  // (Per-(member, vpn) pin checks let other sharers evict a pinned frame —
+  // the sharer-pin bug this owner-set probe fixes.)
+  policy_->set_pinned_probe([this](u64 frame) {
+    const auto it = owners_.find(frame);
+    if (it == owners_.end()) return false;
+    for (const auto& [p, vpn] : it->second)
+      if (p->space().is_pinned_vpn(vpn)) return true;
+    return false;
   });
-  // Wrong-path readahead landings are reclaimed first machine-wide too:
-  // the global sweep resolves the speculative flag through the owner.
+  // Wrong-path readahead landings are reclaimed first machine-wide too: a
+  // frame is speculative only while *every* mapping of it is an
+  // unreferenced prefetch landing.
   policy_->set_speculative_probe(
-      [this](u64 key) {
-        const auto member = key >> kMemberShift;
-        const u64 vpn = key & ((1ull << kMemberShift) - 1);
-        Pager* p = member < members_.size() ? members_[member] : nullptr;
-        return p != nullptr && p->is_speculative(vpn);
+      [this](u64 frame) {
+        const auto it = owners_.find(frame);
+        if (it == owners_.end() || it->second.empty()) return false;
+        for (const auto& [p, vpn] : it->second)
+          if (!p->is_speculative(vpn)) return false;
+        return true;
       },
       [this] {
         for (Pager* p : members_)
           if (p != nullptr && p->any_speculative()) return true;
         return false;
       });
-}
-
-u64 FramePool::pack(u64 member, u64 vpn) const {
-  require(vpn < (1ull << kMemberShift), "vpn does not fit the pool's key packing");
-  return (member << kMemberShift) | vpn;
 }
 
 unsigned FramePool::member_id(const Pager& pager) const {
@@ -102,9 +109,8 @@ void FramePool::attach(Pager& pager) {
   // Pages already resident (pinned buffers, pre-attach traffic) enter the
   // global sweep and the aggregate residency count, as do any frame
   // reservations of faults already in flight.
-  pager.space().for_each_resident([this, id](u64 vpn) {
-    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(pack(id, vpn));
-    ++resident_;
+  pager.space().for_each_resident([this, &pager](u64 vpn) {
+    add_mapping(pager, vpn, *pager.space().frame_of(vpn));
   });
   pending_ += pager.pending_pages();
   peak_resident_ = std::max(peak_resident_, resident_);
@@ -112,9 +118,8 @@ void FramePool::attach(Pager& pager) {
 
 void FramePool::detach(Pager& pager) {
   const unsigned id = member_id(pager);
-  pager.space().for_each_resident([this, id](u64 vpn) {
-    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(pack(id, vpn));
-    --resident_;
+  pager.space().for_each_resident([this, &pager](u64 vpn) {
+    remove_mapping(pager, vpn, *pager.space().frame_of(vpn));
   });
   // The member's in-flight fault reservations leave with it; a stale
   // pending_ would fake permanent pressure for the survivors.
@@ -123,20 +128,51 @@ void FramePool::detach(Pager& pager) {
   pager.pool_ = nullptr;
 }
 
-void FramePool::note_map(const Pager& pager, u64 vpn) {
-  // The global sweep ring is only consulted by kGlobal victim selection;
-  // in kPerProcess mode maintaining it would be O(resident) churn per
-  // map/unmap for state nothing ever reads.
-  if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(pack(member_id(pager), vpn));
-  ++resident_;
-  peak_resident_ = std::max(peak_resident_, resident_);
+void FramePool::add_mapping(Pager& pager, u64 vpn, u64 frame) {
+  auto& sharers = owners_[frame];
+  sharers.emplace_back(&pager, vpn);
+  ++mapped_pages_;
+  if (sharers.size() == 1) {
+    // First mapping: the frame enters the sweep and costs one budget unit.
+    // The global sweep ring is only consulted by kGlobal victim selection;
+    // in kPerProcess mode maintaining it would be O(resident) churn per
+    // map/unmap for state nothing ever reads.
+    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_insert(frame);
+    ++resident_;
+    peak_resident_ = std::max(peak_resident_, resident_);
+  }
+}
+
+void FramePool::remove_mapping(Pager& pager, u64 vpn, u64 frame) {
+  const auto it = owners_.find(frame);
+  require(it != owners_.end(), "pool unmap of an untracked frame");
+  auto& sharers = it->second;
+  const auto pos = std::find(sharers.begin(), sharers.end(), Sharer{&pager, vpn});
+  require(pos != sharers.end(), "pool unmap of an untracked mapping");
+  sharers.erase(pos);
+  require(mapped_pages_ > 0, "pool mapped-pages underflow");
+  --mapped_pages_;
+  if (sharers.empty()) {
+    owners_.erase(it);
+    if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(frame);
+    require(resident_ > 0, "pool residency underflow");
+    --resident_;
+  }
+}
+
+void FramePool::note_map(Pager& pager, u64 vpn, u64 frame) {
+  add_mapping(pager, vpn, frame);
   VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "resident", static_cast<double>(resident_));
 }
 
-void FramePool::note_unmap(const Pager& pager, u64 vpn) {
-  if (cfg_.mode == BudgetMode::kGlobal) policy_->on_remove(pack(member_id(pager), vpn));
-  require(resident_ > 0, "pool residency underflow");
-  --resident_;
+void FramePool::note_unmap(Pager& pager, u64 vpn, u64 frame) {
+  remove_mapping(pager, vpn, frame);
+  VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "resident", static_cast<double>(resident_));
+}
+
+void FramePool::note_cow(Pager& pager, u64 vpn, u64 old_frame, u64 new_frame) {
+  remove_mapping(pager, vpn, old_frame);
+  add_mapping(pager, vpn, new_frame);
   VMSLS_TRACE_COUNTER(sim_.trace(), trace_track_, "resident", static_cast<double>(resident_));
 }
 
@@ -164,19 +200,19 @@ bool FramePool::over_watermark(u64 pct) const noexcept {
 std::optional<FramePool::Victim> FramePool::pick_victim() {
   const auto key = policy_->pick_victim();
   if (!key) return std::nullopt;
-  const auto member = *key >> kMemberShift;
+  const auto it = owners_.find(*key);
+  require(it != owners_.end() && !it->second.empty(), "pool victim frame has no owner-set");
   Victim v;
-  v.owner = members_.at(member);
-  v.vpn = *key & ((1ull << kMemberShift) - 1);
-  require(v.owner != nullptr, "pool victim belongs to a detached member");
+  v.frame = *key;
+  v.sharers = it->second;  // snapshot: eviction mutates the live set
   return v;
 }
 
-void FramePool::record_eviction(const Pager& asking, const Pager& owner, u64 trace_id) {
+void FramePool::record_eviction(const Pager& asking, bool cross, u64 trace_id) {
+  (void)asking;
   evictions_.add();
-  if (&asking != &owner) cross_evictions_.add();
-  VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "evict", trace_id,
-                      &asking != &owner ? 1 : 0);
+  if (cross) cross_evictions_.add();
+  VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "evict", trace_id, cross ? 1 : 0);
 }
 
 void FramePool::note_ws_update() {

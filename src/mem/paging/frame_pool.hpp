@@ -15,15 +15,21 @@
 //                 walk-cache flush invariants preserved) and a dirty victim
 //                 pays writeback on its owner's swap device.
 //
-// Victim bookkeeping reuses the pager's ReplacementPolicy implementations:
-// the pool packs (member id, vpn) into the policy's opaque 64-bit keys, so
-// the exact CLOCK ring that sweeps one process sweeps all of them — and a
-// single-member global pool is cycle-identical to a per-process budget of
-// the same size.
+// Victim bookkeeping reuses the pager's ReplacementPolicy implementations
+// over *frame numbers*: each frame carries an owner-set of (member, vpn)
+// mappings, so a frame shared by N forked processes occupies one slot in
+// the CLOCK ring, one unit of budget, and one victim nomination — eviction
+// fans out one shootdown per sharer and the probes aggregate across the
+// owner-set (a pin held by *any* sharer protects the frame; the accessed
+// bit is the OR over every sharer's PTE). A single-member pool with
+// unshared frames is cycle-identical to a per-process budget of the same
+// size.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/paging/replacement.hpp"
@@ -56,9 +62,14 @@ struct FramePoolConfig {
 
 class FramePool {
  public:
+  /// One mapping of a frame: the owning pager and the vpn it maps there.
+  using Sharer = std::pair<Pager*, u64>;
+
+  /// A nominated victim *frame* and every mapping it backs (attach/map
+  /// order — deterministic). Freeing the frame means evicting all of them.
   struct Victim {
-    Pager* owner = nullptr;
-    u64 vpn = 0;
+    u64 frame = 0;
+    std::vector<Sharer> sharers;
   };
 
   FramePool(sim::Simulator& sim, const FramePoolConfig& cfg, std::string name = "pool");
@@ -77,8 +88,12 @@ class FramePool {
   void detach(Pager& pager);
 
   // --- residency accounting (forwarded by member pagers) ---
-  void note_map(const Pager& pager, u64 vpn);
-  void note_unmap(const Pager& pager, u64 vpn);
+  void note_map(Pager& pager, u64 vpn, u64 frame);
+  void note_unmap(Pager& pager, u64 vpn, u64 frame);
+  /// A COW break moved the member's mapping from `old_frame` to a private
+  /// `new_frame`; mapped pages are unchanged, unique frames grow by one
+  /// (unless the old frame's owner-set emptied in the same step).
+  void note_cow(Pager& pager, u64 vpn, u64 old_frame, u64 new_frame);
   void note_pending(i64 delta);
 
   /// A member finished a working-set sweep: with auto_budget, re-divide
@@ -97,13 +112,27 @@ class FramePool {
   /// caller evicts through the owner; eviction feeds back via note_unmap.
   std::optional<Victim> pick_victim();
 
-  /// Caller reports the eviction it performed so cross-process pressure is
-  /// visible in the stats ("pool.cross_evictions"). `trace_id` is the
-  /// asking fault's causal id (an "evict" instant lands on the pool track).
-  void record_eviction(const Pager& asking, const Pager& owner, u64 trace_id = 0);
+  /// Caller reports the frame eviction it performed (one per victim frame,
+  /// however many sharers were shot down) so cross-process pressure is
+  /// visible in the stats ("pool.cross_evictions"). `cross` is true when
+  /// any evicted sharer belonged to a different process than the asker.
+  /// `trace_id` is the asking fault's causal id (an "evict" instant lands
+  /// on the pool track).
+  void record_eviction(const Pager& asking, bool cross, u64 trace_id = 0);
 
   u64 members() const noexcept;
+  /// Unique resident *frames* — the budget/pressure basis. With page
+  /// sharing this is less than mapped_pages(); without it they are equal.
   u64 resident_pages() const noexcept { return resident_; }
+  /// Total page mappings across every member (each sharer counts).
+  u64 mapped_pages() const noexcept { return mapped_pages_; }
+  /// Fraction of mappings served without a frame of their own:
+  /// 1 - unique_frames / mapped_pages (0 when nothing is mapped).
+  double dedup_ratio() const noexcept {
+    return mapped_pages_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(resident_) / static_cast<double>(mapped_pages_);
+  }
   /// High-water mark of aggregate residency — the budget-invariant probe
   /// (never exceeds total_frames in kGlobal mode once enforcement runs).
   u64 peak_resident_pages() const noexcept { return peak_resident_; }
@@ -119,10 +148,9 @@ class FramePool {
   u64 rebalances() const noexcept { return rebalances_.value(); }
 
  private:
-  static constexpr unsigned kMemberShift = 44;  // vpns fit far below 2^44
-
-  u64 pack(u64 member, u64 vpn) const;
   unsigned member_id(const Pager& pager) const;
+  void add_mapping(Pager& pager, u64 vpn, u64 frame);
+  void remove_mapping(Pager& pager, u64 vpn, u64 frame);
 
   sim::Simulator& sim_;
   FramePoolConfig cfg_;
@@ -130,7 +158,11 @@ class FramePool {
   sim::TraceTrack trace_track_ = 0;
   std::vector<Pager*> members_;  // index = member id; nullptr after detach
   std::unique_ptr<ReplacementPolicy> policy_;
-  u64 resident_ = 0;
+  /// frame -> its mappings, in map order. The policy's opaque keys are the
+  /// frame numbers; probes aggregate over this set.
+  std::unordered_map<u64, std::vector<Sharer>> owners_;
+  u64 resident_ = 0;      // unique frames (owner-set count)
+  u64 mapped_pages_ = 0;  // total mappings (sum of owner-set sizes)
   u64 pending_ = 0;
   u64 peak_resident_ = 0;
 

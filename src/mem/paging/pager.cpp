@@ -24,6 +24,12 @@ Pager::Pager(sim::Simulator& sim, rt::Process& process, const PagerConfig& cfg, 
       file_drops_(sim.stats().counter(name_ + ".file_drops")),
       file_writebacks_(sim.stats().counter(name_ + ".file_writebacks")),
       zero_fills_(sim.stats().counter(name_ + ".zero_fills")),
+      share_hits_(sim.stats().counter(name_ + ".share_hits")),
+      inherited_fills_(sim.stats().counter(name_ + ".inherited_fills")),
+      cow_copies_(sim.stats().counter(name_ + ".cow_copies")),
+      cow_upgrades_(sim.stats().counter(name_ + ".cow_upgrades")),
+      shared_releases_(sim.stats().counter(name_ + ".shared_releases")),
+      swap_releases_(sim.stats().counter(name_ + ".swap_releases")),
       writebacks_(sim.stats().counter(name_ + ".writebacks")),
       reclaims_(sim.stats().counter(name_ + ".reclaims")),
       pageouts_(sim.stats().counter(name_ + ".pageouts")),
@@ -72,41 +78,57 @@ Pager::~Pager() {
   as_.set_reclaim_hook(nullptr);
 }
 
-void Pager::on_map(u64 vpn) {
+void Pager::on_map(u64 vpn, u64 frame) {
   if (pending_maps_.erase(vpn) > 0 && pool_) pool_->note_pending(-1);
   policy_->on_insert(vpn);
   if (track_ws_) ws_last_ref_[vpn] = sim_.now();  // a fresh mapping is a reference
-  if (pool_) pool_->note_map(*this, vpn);
+  if (pool_) pool_->note_map(*this, vpn, frame);
   note_activity();
 }
 
-void Pager::on_unmap(u64 vpn, bool dirty) {
+void Pager::on_unmap(u64 vpn, bool dirty, u64 frame, u64 sharers_left) {
   policy_->on_remove(vpn);
   if (track_ws_) ws_last_ref_.erase(vpn);
   // An external unmap (experiment-setup eviction) of a speculative page is
   // wasted work; the pager's own evictions settle the flag beforehand with
   // the accessed bit still readable.
   if (speculative_.erase(vpn) > 0) prefetch_wasted_.add();
-  // Lifecycle fork. Anonymous pages — and private file pages once they hold
-  // a diverged copy in the backing store — live in swap: the page gets a
-  // slot and every refault pays a swap-in. File pages whose truth is the
-  // file get no slot: clean ones drop for free, dirty shared ones write
-  // back through the buffer cache (bookkeeping now, device time absorbed in
-  // the background — this path never blocks, which is exactly why dirty
-  // shared-file victims are cheap on the fault path). This runs on *every*
-  // unmap — own eviction loop, pool global sweep, emergency reclaim, and
-  // experiment-setup evictions — so the two lifecycles partition all
-  // eviction traffic no matter who initiated it.
+  // Lifecycle fork — each unmap lands in exactly ONE bucket, whoever
+  // initiated it (own eviction loop, pool global sweep, emergency reclaim,
+  // experiment-setup evictions), so the buckets partition all eviction
+  // traffic and a frame unmapped by N sharers contributes N bucket entries,
+  // never more (the double-count audit this ledger encodes). Anonymous
+  // pages — and private file pages once they hold a diverged copy in the
+  // backing store — live in swap: the page gets a slot and every refault
+  // pays a swap-in (`swap_releases`). File pages whose truth is the file
+  // get no slot: dirty shared ones write back through the buffer cache
+  // (bookkeeping now, device time absorbed in the background; concurrent
+  // sharers' writebacks of one block dedup into a single device write
+  // inside the cache — "exactly one writeback" per shared frame), clean
+  // ones whose frame other sharers still hold release for free
+  // (`shared_releases`), and the last clean mapping drops the frame
+  // (`file_drops`).
   const auto fp = as_.file_page(vpn);
   if (!fp || (!fp->shared && as_.has_backing(vpn))) {
+    swap_releases_.add();
     sched_->note_swapped(swap_owner_, vpn);
   } else if (fp->shared && dirty) {
     file_writebacks_.add();
     bcache_->write(bcache_client_, fp->file->id(), fp->block, VMSLS_TRACE_NEW_ID(sim_.trace()));
+  } else if (fp->shared && sharers_left > 0) {
+    shared_releases_.add();
   } else {
     file_drops_.add();
   }
-  if (pool_) pool_->note_unmap(*this, vpn);
+  if (pool_) pool_->note_unmap(*this, vpn, frame);
+  note_activity();
+}
+
+void Pager::on_cow(u64 vpn, u64 old_frame, u64 new_frame) {
+  if (pending_maps_.erase(vpn) > 0 && pool_) pool_->note_pending(-1);
+  // The page never left residency — own-policy tracking (vpn-keyed) and the
+  // WS clock are untouched; only the pool's frame-keyed owner-set moves.
+  if (pool_) pool_->note_cow(*this, vpn, old_frame, new_frame);
   note_activity();
 }
 
@@ -183,32 +205,51 @@ void Pager::ensure_frame_available(u64 trace_id, sim::EventFn then) {
   // Frames reserved by not-yet-mapped faults count against the budget, or
   // two in-flight faults would double-spend one freed frame.
   if (pool_ != nullptr && cfg_.budget_mode == BudgetMode::kGlobal) {
-    // Machine-wide budget: the pool's global sweep nominates victims, which
-    // may belong to another process. The victim's owner performs the
-    // eviction (its shootdown invariants) and absorbs the writeback on its
-    // own swap front end; this pager's fault merely waits for the frame.
+    // Machine-wide budget: the pool's global sweep nominates victim
+    // *frames*, which may be shared — eviction fans out one shootdown per
+    // sharer (each through its owner's Process, preserving that process's
+    // shootdown invariants) but frees exactly one frame and counts as one
+    // pool eviction. Dirty swap-lifecycle sharers each absorb a writeback
+    // on their own swap front end; this pager's fault merely waits for the
+    // frame, resuming once the *last* of those writebacks lands.
     while (pool_->over_budget()) {
       const auto victim = pool_->pick_victim();
       if (!victim) break;
-      Pager& owner = *victim->owner;
-      const bool dirty = owner.page_dirty(victim->vpn);
-      // Dirty *shared-file* victims write back through the buffer cache
-      // inside on_unmap and never block — only dirty swap-lifecycle pages
-      // suspend this loop on the device port.
-      const auto vfp = owner.as_.file_page(victim->vpn);
-      const bool swap_wb = dirty && (!vfp || !vfp->shared);
-      log_debug(name_, "global evict ", owner.name_, " vpn=0x", std::hex, victim->vpn,
-                dirty ? " (dirty)" : " (clean)");
-      pool_->record_eviction(*this, owner, trace_id);
-      owner.evict_resident(victim->vpn);
-      if (swap_wb) {
-        owner.writebacks_.add();
-        const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
-        owner.sched_->write(owner.swap_owner_, victim->vpn, SwapReqClass::kDemandWrite,
-                            [this, trace_id, then = std::move(then)]() mutable {
-                              ensure_frame_available(trace_id, std::move(then));
-                            },
-                            wid);
+      struct SwapWb {
+        Pager* owner;
+        u64 vpn;
+      };
+      std::vector<SwapWb> swap_wbs;
+      bool cross = false;
+      for (const auto& [owner, svpn] : victim->sharers) {
+        // Lifecycle must be read *before* the eviction invalidates the PTE.
+        // Dirty *shared-file* sharers write back through the buffer cache
+        // inside on_unmap and never block — only dirty swap-lifecycle pages
+        // suspend this loop on the device port.
+        const bool dirty = owner->page_dirty(svpn);
+        const auto vfp = owner->as_.file_page(svpn);
+        log_debug(name_, "global evict ", owner->name_, " vpn=0x", std::hex, svpn,
+                  dirty ? " (dirty)" : " (clean)");
+        if (owner != this) cross = true;
+        owner->evict_resident(svpn);
+        if (dirty && (!vfp || !vfp->shared)) swap_wbs.push_back({owner, svpn});
+      }
+      pool_->record_eviction(*this, cross, trace_id);
+      if (!swap_wbs.empty()) {
+        // Barrier over the sharers' writebacks: the loop resumes on a fresh
+        // stack when the last one completes.
+        auto remaining = std::make_shared<u64>(swap_wbs.size());
+        auto resume = std::make_shared<sim::EventFn>(std::move(then));
+        for (const auto& wb : swap_wbs) {
+          wb.owner->writebacks_.add();
+          const u64 wid = VMSLS_TRACE_NEW_ID(sim_.trace());
+          wb.owner->sched_->write(wb.owner->swap_owner_, wb.vpn, SwapReqClass::kDemandWrite,
+                                  [this, trace_id, remaining, resume]() mutable {
+                                    if (--*remaining == 0)
+                                      ensure_frame_available(trace_id, std::move(*resume));
+                                  },
+                                  wid);
+        }
         return;
       }
     }
@@ -250,11 +291,18 @@ void Pager::complete_fault(u64 vpn, Cycles start, sim::EventFn& ready) {
 }
 
 void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
-  (void)is_write;
   note_activity();
   const Cycles start = sim_.now();
   const u64 vpn = va >> page_bits();
   if (as_.is_mapped(va)) {
+    // A write against a resident read-only page is a COW (or write-upgrade)
+    // fault, not a spurious retry — it has its own service path.
+    if (is_write) {
+      if (const auto pte = as_.page_table().lookup(va); pte && !pte->writable) {
+        handle_cow_fault(va, vpn, start, std::move(ready));
+        return;
+      }
+    }
     // A concurrent fault on the same page already completed: no frame and
     // no swap-in needed — and crucially no victim eviction either.
     fault_stall_.record(0);
@@ -315,21 +363,97 @@ void Pager::handle_fault(VirtAddr va, bool is_write, sim::EventFn ready) {
       });
       return;
     }
-    // File lifecycle: a first-touch (or clean-dropped) file page lazy-loads
-    // through the buffer cache — free on a hit, a demand-class device read
-    // on a miss — unless a private diverged copy exists, in which case the
-    // swap branch above already owned the page.
-    if (!as_.is_mapped(va) && !as_.has_backing(vpn)) {
-      if (const auto fp = as_.file_page(vpn)) {
-        file_reads_.add();
-        bcache_->read(bcache_client_, fp->file->id(), fp->block,
-                      [this, vpn, ready = std::move(ready), start]() mutable {
-                        complete_fault(vpn, start, ready);
-                      },
-                      fid);
-        return;
+    if (!as_.is_mapped(va)) {
+      if (as_.has_backing(vpn)) {
+        // A backing copy without a swap slot is fork-inherited: the parent
+        // evicted the page before forking, so the child holds the bytes but
+        // never paid them to a device — the fill is free.
+        inherited_fills_.add();
+      } else if (const auto fp = as_.file_page(vpn)) {
+        // Shared-file pages another process already holds resident resolve
+        // to that frame (map_page refs it) — no device read, no buffer-cache
+        // trip, just a page-table install.
+        if (fp->shared && as_.share_index() != nullptr &&
+            as_.share_index()->lookup(fp->file->id(), fp->block)) {
+          share_hits_.add();
+        } else {
+          // File lifecycle: a first-touch (or clean-dropped) file page
+          // lazy-loads through the buffer cache — free on a hit, a
+          // demand-class device read on a miss.
+          file_reads_.add();
+          bcache_->read(bcache_client_, fp->file->id(), fp->block,
+                        [this, vpn, ready = std::move(ready), start]() mutable {
+                          complete_fault(vpn, start, ready);
+                        },
+                        fid);
+          return;
+        }
+      } else {
+        zero_fills_.add();
       }
-      zero_fills_.add();
+    }
+    complete_fault(vpn, start, ready);
+  });
+}
+
+void Pager::handle_cow_fault(VirtAddr va, u64 vpn, Cycles start, sim::EventFn ready) {
+  ++faults_since_sweep_;
+  if (auto it = inflight_faults_.find(vpn); it != inflight_faults_.end()) {
+    // Another fault on this page is already in flight (typically a second
+    // hardware thread hitting the same COW page): coalesce. The primary's
+    // cow_break resolves the permission for every waiter.
+    VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "coalesce", it->second.trace_id, vpn);
+    it->second.waiters.push_back([this, ready = std::move(ready), start]() mutable {
+      fault_stall_.record(sim_.now() - start);
+      ready();
+    });
+    return;
+  }
+  const u64 fid = VMSLS_TRACE_NEW_ID(sim_.trace());
+  inflight_faults_.emplace(vpn, InflightFault{fid, {}});
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "fault", fid, vpn);
+  const auto frame = as_.frame_of(vpn);
+  require(frame.has_value(), name_ + ": COW fault on a non-resident page");
+  if (as_.frames().refcount(*frame) <= 1) {
+    // Sole mapping left (the other sharers evicted or diverged already):
+    // re-enable write in place — no frame, no budget work, no copy traffic.
+    process_.cow_break(va);
+    cow_upgrades_.add();
+    complete_fault(vpn, start, ready);
+    return;
+  }
+  // The private copy needs a frame of its own: reserve it against the
+  // budget and run the eviction loop. Pin the faulting page first — the
+  // global sweep must not nominate the very frame being split (the
+  // owner-set pin probe protects it for every sharer), and the in-flight
+  // write targets these exact bytes.
+  as_.pin(va);
+  if (pending_maps_.insert(vpn).second && pool_) pool_->note_pending(+1);
+  VMSLS_TRACE_BEGIN(sim_.trace(), trace_track_, "evict", fid, vpn);
+  ensure_frame_available(fid, [this, va, vpn, fid, ready = std::move(ready), start]() mutable {
+    VMSLS_TRACE_END(sim_.trace(), trace_track_, "evict", fid, vpn);
+    const auto r = process_.cow_break(va);
+    as_.unpin(va);
+    if (!r.copied) {
+      // The last other sharer released the frame while this fault waited on
+      // eviction: cow_break upgraded in place and the reservation dies
+      // unclaimed (on_cow never fired, so clear it here).
+      if (pending_maps_.erase(vpn) > 0 && pool_) pool_->note_pending(-1);
+      cow_upgrades_.add();
+      complete_fault(vpn, start, ready);
+      return;
+    }
+    cow_copies_.add();
+    VMSLS_TRACE_INSTANT(sim_.trace(), trace_track_, "cow_copy", fid, vpn);
+    if (bus_ != nullptr) {
+      // The page copy is real memory traffic: charge one page-sized write
+      // burst at the new frame before the store retries.
+      bus_->request(mem::BusRequest{as_.frames().frame_addr(r.frame),
+                                    static_cast<u32>(as_.page_bytes()), true,
+                                    [this, vpn, ready = std::move(ready), start]() mutable {
+                                      complete_fault(vpn, start, ready);
+                                    }});
+      return;
     }
     complete_fault(vpn, start, ready);
   });

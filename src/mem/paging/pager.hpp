@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "mem/address_space.hpp"
+#include "mem/bus.hpp"
 #include "mem/paging/buffer_cache.hpp"
 #include "mem/paging/frame_pool.hpp"
 #include "mem/paging/replacement.hpp"
@@ -149,9 +150,16 @@ class Pager final : public mem::ResidencyObserver {
     daemon_tick_cost_ = tick_cost;
   }
 
+  /// COW page copies are charged as bus traffic (one page-sized write
+  /// burst) when a bus is wired; without one the copy is functional-only
+  /// and the OS tail's copy cost is the only charge. Optional because
+  /// bench rigs drive the fault path without a memory fabric.
+  void set_bus(mem::MemoryBus* bus) noexcept { bus_ = bus; }
+
   // --- mem::ResidencyObserver (driven by the address space) ---
-  void on_map(u64 vpn) override;
-  void on_unmap(u64 vpn, bool dirty) override;
+  void on_map(u64 vpn, u64 frame) override;
+  void on_unmap(u64 vpn, bool dirty, u64 frame, u64 sharers_left) override;
+  void on_cow(u64 vpn, u64 old_frame, u64 new_frame) override;
 
   /// Fault-path entry: makes room under the frame budget (evicting victims,
   /// charging writeback time for dirty ones) and charges swap-in time when
@@ -227,6 +235,30 @@ class Pager final : public mem::ResidencyObserver {
   u64 file_writebacks() const noexcept { return file_writebacks_.value(); }
   /// Demand faults that needed neither swap nor file: first-touch zero-fill.
   u64 zero_fills() const noexcept { return zero_fills_.value(); }
+  /// Sharing ledger. Together with the file/swap counters these partition
+  /// every primary fault and every unmap exactly once:
+  ///   read faults  == swap_ins + file_reads + zero_fills
+  ///                   + share_hits + inherited_fills
+  ///   write faults on resident RO pages == cow_copies + cow_upgrades
+  ///   unmaps == swap_releases + file_drops + file_writebacks
+  ///             + shared_releases
+  /// `share_hits`: MAP_SHARED faults resolved to a frame another process
+  /// already holds resident — no device read, no buffer-cache trip.
+  u64 share_hits() const noexcept { return share_hits_.value(); }
+  /// Faults filled for free from a backing copy inherited at fork (the
+  /// parent had evicted the page before forking, so the child holds the
+  /// bytes but no swap slot of its own).
+  u64 inherited_fills() const noexcept { return inherited_fills_.value(); }
+  /// COW write faults that split a shared frame into a private copy.
+  u64 cow_copies() const noexcept { return cow_copies_.value(); }
+  /// COW write faults where the refcount had already dropped to 1: write
+  /// re-enabled in place, no copy, no frame.
+  u64 cow_upgrades() const noexcept { return cow_upgrades_.value(); }
+  /// Unmaps of clean MAP_SHARED pages whose frame lives on under another
+  /// sharer's mapping (nothing dropped, nothing written back).
+  u64 shared_releases() const noexcept { return shared_releases_.value(); }
+  /// Unmaps whose page entered (or kept) a swap-lifecycle identity.
+  u64 swap_releases() const noexcept { return swap_releases_.value(); }
   u64 prefetches() const noexcept { return prefetches_.value(); }
   u64 prefetch_useful() const noexcept { return prefetch_useful_.value(); }
   u64 prefetch_wasted() const noexcept { return prefetch_wasted_.value(); }
@@ -240,6 +272,9 @@ class Pager final : public mem::ResidencyObserver {
   /// its own (a writeback is a distinct device request with its own
   /// queue/io spans).
   void ensure_frame_available(u64 trace_id, sim::EventFn then);
+  /// Write fault on a resident read-only page: budget work + the copy's bus
+  /// charge for a shared frame, a free in-place upgrade for a sole mapping.
+  void handle_cow_fault(VirtAddr va, u64 vpn, Cycles start, sim::EventFn ready);
   void complete_fault(u64 vpn, Cycles start, sim::EventFn& ready);
   /// Issues prefetch-class reads for the demand swap-in's slot neighbors
   /// that fit under free budget headroom.
@@ -273,6 +308,7 @@ class Pager final : public mem::ResidencyObserver {
   unsigned bcache_client_ = 0;
   std::unique_ptr<ReplacementPolicy> policy_;
   FramePool* pool_ = nullptr;
+  mem::MemoryBus* bus_ = nullptr;  // COW copy charging; optional
   rt::OsModel* os_ = nullptr;
   Cycles daemon_tick_cost_ = 0;
   unsigned page_bits_ = 0;
@@ -322,6 +358,12 @@ class Pager final : public mem::ResidencyObserver {
   Counter& file_drops_;
   Counter& file_writebacks_;
   Counter& zero_fills_;
+  Counter& share_hits_;
+  Counter& inherited_fills_;
+  Counter& cow_copies_;
+  Counter& cow_upgrades_;
+  Counter& shared_releases_;
+  Counter& swap_releases_;
   Counter& writebacks_;
   Counter& reclaims_;
   Counter& pageouts_;

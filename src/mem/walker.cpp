@@ -17,6 +17,7 @@ PageWalker::PageWalker(sim::Simulator& sim, MemoryBus& bus, PhysicalMemory& pm,
       walks_(sim.stats().counter(name_ + ".walks")),
       faults_(sim.stats().counter(name_ + ".faults")),
       mem_reads_(sim.stats().counter(name_ + ".mem_reads")),
+      ad_writebacks_(sim.stats().counter(name_ + ".ad_writebacks")),
       cache_hits_(sim.stats().counter(name_ + ".cache_hits")),
       cache_misses_(sim.stats().counter(name_ + ".cache_misses")),
       walk_latency_(sim.stats().histogram(name_ + ".walk_latency")),
@@ -64,6 +65,14 @@ void PageWalker::cache_fill(VirtAddr va, PhysAddr base) {
 
 void PageWalker::flush_cache() {
   for (auto& slot : cache_) slot.valid = false;
+}
+
+void PageWalker::note_ad_update(VirtAddr va, bool dirty) {
+  if (!pt_.set_accessed_dirty(va, dirty)) return;  // no bit flipped: free
+  if (!cfg_.timed_ad_writeback) return;
+  ad_writebacks_.add();
+  if (const auto leaf = pt_.leaf_addr(va))
+    bus_.request(BusRequest{*leaf, 8, /*is_write=*/true, [] {}});
 }
 
 void PageWalker::walk(VirtAddr va, std::function<void(WalkResult)> done) {
@@ -135,9 +144,9 @@ void PageWalker::on_pte(Walk* w, u64 raw) {
   }
   if (w->level + 1 == pt_.levels()) {
     // Leaf. The walker sets the accessed bit on fill — the hardware side of
-    // the contract the replacement policies consume. (Functional update;
-    // the PTE read already paid its bus cycles.)
-    pt_.set_accessed_dirty(w->va, /*dirty=*/false);
+    // the contract the replacement policies consume — and charges the PTE
+    // write-back when the bit flipped (timed_ad_writeback).
+    note_ad_update(w->va, /*dirty=*/false);
     // Remember the table it lives in for subsequent same-region walks.
     cache_fill(w->va, w->base);
     WalkResult r;

@@ -26,6 +26,12 @@ struct WalkerConfig {
   bool walk_cache_enabled = true;
   unsigned walk_cache_entries = 16;
   unsigned ports = 1;  // concurrent walks serviced
+  /// Charge each accessed/dirty-bit PTE update as a posted 8-byte bus write
+  /// at the leaf PTE's address (real MMUs write the bit back to memory; the
+  /// traffic is visible on the fabric). Off = functional-only updates, the
+  /// pre-PR model. Only *changing* a bit pays — re-setting an already-set
+  /// bit is free, as in hardware.
+  bool timed_ad_writeback = true;
 };
 
 struct WalkResult {
@@ -50,6 +56,13 @@ class PageWalker {
   /// Drops all cached interior entries. The OS model calls this as part of
   /// TLB shootdown whenever it changes the page tables.
   void flush_cache();
+
+  /// Funnel for every hardware accessed/dirty-bit update (walker leaf fills
+  /// and the MMU's TLB-hit refreshes): performs the functional PTE update
+  /// and, when a bit actually changed and timed_ad_writeback is on, posts
+  /// the 8-byte PTE write on the memory bus (fire-and-forget — the walk or
+  /// translation does not stall on it, but the fabric carries the traffic).
+  void note_ad_update(VirtAddr va, bool dirty);
 
   const PageTable& page_table() const noexcept { return pt_; }
   unsigned page_bits() const noexcept { return pt_.config().page_bits; }
@@ -110,6 +123,7 @@ class PageWalker {
   Counter& walks_;
   Counter& faults_;
   Counter& mem_reads_;
+  Counter& ad_writebacks_;
   Counter& cache_hits_;
   Counter& cache_misses_;
   Histogram& walk_latency_;

@@ -42,7 +42,15 @@ FaultHandler::FaultHandler(sim::Simulator& sim, OsModel& os, Process& process, s
 void FaultHandler::finish_fault(mem::FaultRequest req, Cycles raised_at, u64 trace_id) {
   auto& space = process_.address_space();
   // Another thread may have faulted the same page in meanwhile.
-  if (!space.is_mapped(req.va)) space.map_page(req.va, /*writable=*/true);
+  if (!space.is_mapped(req.va)) {
+    space.map_page(req.va, /*writable=*/true);
+  } else if (req.is_write) {
+    // A write fault against a *mapped* page is a permission fault (COW /
+    // write-upgrade). The pager path resolves it inside handle_fault; this
+    // fallback keeps pager-less systems from retrying the same fault
+    // forever — cow_break is a no-op when the page is already writable.
+    process_.cow_break(req.va);
+  }
   latency_.record(sim_.now() - raised_at);
   VMSLS_TRACE_END(sim_.trace(), trace_track_, "service", trace_id, req.va);
   req.retry();

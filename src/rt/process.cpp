@@ -59,6 +59,26 @@ u64 Process::evict(VirtAddr va, u64 bytes) {
   return evicted;
 }
 
+u64 Process::fork(Process& child) {
+  const u64 shared = child.as_.fork_from(as_);
+  // Anonymous pages lost write permission in *this* process's page tables;
+  // any TLB still caching them writable would let a post-fork store bypass
+  // COW and scribble on the child's view of the shared frame.
+  if (shared > 0) shootdown_all();
+  return shared;
+}
+
+mem::AddressSpace::CowResult Process::cow_break(VirtAddr va) {
+  const auto r = as_.cow_resolve(va);
+  if (r.copied) {
+    const u64 page = as_.page_bytes();
+    for (auto* mmu : mmus_) mmu->shootdown(align_down(va, page));
+    for (auto* w : walkers_) w->flush_cache();
+    shootdowns_.add();
+  }
+  return r;
+}
+
 void Process::shootdown_all() {
   for (auto* mmu : mmus_) mmu->shootdown_all();
   for (auto* w : walkers_) w->flush_cache();

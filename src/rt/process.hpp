@@ -65,6 +65,20 @@ class Process {
   /// and the shared walk cache. Returns pages evicted.
   u64 evict(VirtAddr va, u64 bytes);
 
+  /// Forks this process's memory image into `child` (whose address space
+  /// must be fresh): resident pages are shared by reference — MAP_SHARED
+  /// file pages stay writable, anonymous/private pages go copy-on-write —
+  /// and this process's TLBs are shot down (write permissions were
+  /// revoked). Returns the number of pages shared.
+  u64 fork(Process& child);
+
+  /// Breaks a COW share after a write fault: sole mappings upgrade in
+  /// place; shared frames split into a private copy, followed by a TLB
+  /// shootdown of the page (cached translations point at the old frame).
+  /// Functional mechanism only — the pager charges budget work and the
+  /// copy's bus traffic.
+  mem::AddressSpace::CowResult cow_break(VirtAddr va);
+
   /// Full address-space shootdown (e.g. after wholesale remapping).
   void shootdown_all();
 

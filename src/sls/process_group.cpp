@@ -26,6 +26,9 @@ ProcessGroup::ProcessGroup(sim::Simulator& sim, const PlatformSpec& platform,
   // sharing into cross-process read hits.
   files_ = std::make_unique<mem::FileStore>(page);
   bcache_ = std::make_unique<paging::BufferCache>(sim_, platform_.pager.bcache, page, "bcache");
+  // Resident-frame index for MAP_SHARED pages: the sharing layer above the
+  // buffer cache — a hit here costs no device read *and no frame*.
+  share_ = std::make_unique<mem::FrameShareIndex>();
   if (platform_.telemetry.period > 0) {
     telemetry_ = std::make_unique<sim::TelemetrySampler>(sim_, platform_.telemetry.period);
     telemetry_->trace_counters = platform_.telemetry.trace_counters;
@@ -75,6 +78,7 @@ System& ProcessGroup::add_process(const SystemImage& image, const std::string& i
   shared.swap = swap_.get();
   shared.files = files_.get();
   shared.bcache = bcache_.get();
+  shared.share = share_.get();
   systems_.push_back(image.elaborate(sim_, shared, instance));
   instances_.push_back(instance);
   System& sys = *systems_.back();

@@ -57,6 +57,11 @@ class ProcessGroup {
   mem::FileStore& files() noexcept { return *files_; }
   paging::BufferCache& buffer_cache() noexcept { return *bcache_; }
 
+  /// Machine-wide resident-frame index for MAP_SHARED pages — what lets
+  /// process B's fault map the very frame process A faulted in (dedup)
+  /// instead of filling a duplicate copy of the same file block.
+  mem::FrameShareIndex& share_index() noexcept { return *share_; }
+
   /// The group's pressure time-series sampler, present when the platform
   /// sets `telemetry.period > 0`; probes cover the pool, the frame
   /// allocator, the shared swap queue (per class), and every process added
@@ -82,6 +87,7 @@ class ProcessGroup {
   std::unique_ptr<paging::SwapScheduler> swap_;
   std::unique_ptr<mem::FileStore> files_;
   std::unique_ptr<paging::BufferCache> bcache_;
+  std::unique_ptr<mem::FrameShareIndex> share_;
   std::unique_ptr<sim::TelemetrySampler> telemetry_;
   std::vector<std::unique_ptr<System>> systems_;
   std::vector<std::string> instances_;

@@ -62,6 +62,7 @@ void System::build(const SharedSubstrate* shared) {
     files_ = owned_files_.get();
   }
   as_ = std::make_unique<mem::AddressSpace>(*pm_, *frames_, plat.page_table);
+  if (shared != nullptr && shared->share != nullptr) as_->set_share_index(shared->share);
   process_ = std::make_unique<rt::Process>(sim_, *as_, inst_ + app.name);
   walker_ = std::make_unique<mem::PageWalker>(sim_, *bus_, *pm_, as_->page_table(), plat.walker,
                                               inst_ + "walker");
@@ -83,6 +84,7 @@ void System::build(const SharedSubstrate* shared) {
     pager_ = std::make_unique<paging::Pager>(sim_, *process_, plat.pager, inst_ + "pager",
                                              shared_swap, shared_bcache);
     pager_->set_os(os_, plat.os.daemon_service);
+    pager_->set_bus(bus_);  // COW page copies charge as bus write bursts
     if (pool_ != nullptr) pool_->attach(*pager_);
     faults_->set_pager(pager_.get());
   }

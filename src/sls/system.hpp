@@ -58,6 +58,11 @@ struct SharedSubstrate {
   /// `bcache` may be null (each pager keeps a private buffer cache).
   mem::FileStore* files = nullptr;
   paging::BufferCache* bcache = nullptr;
+  /// Machine-wide resident-frame index for MAP_SHARED pages: when set, a
+  /// process faulting a shared file page another process already holds
+  /// resident maps the *same frame* (one frame backs N mappings) instead of
+  /// filling a duplicate. Null = every process fills its own frame.
+  mem::FrameShareIndex* share = nullptr;
 };
 
 class System {

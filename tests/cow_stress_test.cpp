@@ -1,0 +1,248 @@
+// Randomized COW / page-sharing storms, 20 seeds.
+//
+// One parent forks three workers over a kGlobal FramePool with a tight
+// budget, then a seeded mix of operations hammers the sharing machinery:
+// driven write faults on COW pages, driven read faults on shared-file and
+// evicted pages, software stores to MAP_SHARED pages, and random external
+// evictions. After every storm the invariants that define the sharing
+// model are re-checked:
+//
+//   * refcount identity — per-frame mapping counts reconstructed from the
+//     address spaces equal FrameAllocator::refcount, and the pool's
+//     mapped/resident aggregates match,
+//   * fault ledger — per pager, driven unmapped faults == swap_ins +
+//     file_reads + zero_fills + share_hits + inherited_fills, and driven
+//     permission faults == cow_copies + cow_upgrades,
+//   * unmap partition — per pager, bucket entries == pager evictions +
+//     externally evicted pages (each unmap lands in exactly one bucket),
+//   * content — every process reads back exactly the value the reference
+//     model last wrote for it (divergence is never lost, sharing is never
+//     broken), and
+//   * determinism — each seed rerun on a fresh simulator is bit-identical
+//     down to the full stat snapshot.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mem/backing_file.hpp"
+#include "mem/frame_share.hpp"
+#include "mem/paging/frame_pool.hpp"
+#include "mem/paging/pager.hpp"
+#include "rt/process.hpp"
+#include "sls/sharded_runner.hpp"
+#include "test_util.hpp"
+
+namespace vmsls::paging {
+namespace {
+
+constexpr u64 kPageSz = 4096;
+constexpr u64 kProcs = 4;       // parent + 3 forked workers
+constexpr u64 kFilePages = 8;   // MAP_SHARED region
+constexpr u64 kAnonPages = 4;   // COW pages per process
+constexpr u64 kOps = 120;
+
+struct StormResult {
+  Cycles cycles = 0;
+  u64 events = 0;
+  std::map<std::string, double> snapshot;
+};
+
+struct Storm {
+  sim::Simulator sim;
+  mem::PhysicalMemory pm{32 * MiB};
+  mem::FrameAllocator frames{0, (32 * MiB) / kPageSz, kPageSz};
+  mem::FileStore files{kPageSz};
+  mem::FrameShareIndex share;
+  FramePool pool;
+  std::vector<std::unique_ptr<mem::AddressSpace>> spaces;
+  std::vector<std::unique_ptr<rt::Process>> procs;
+  std::vector<std::unique_ptr<Pager>> pagers;
+  // Driver-side classification + the reference content model.
+  std::vector<u64> driven_reads{std::vector<u64>(kProcs, 0)};
+  std::vector<u64> driven_cows{std::vector<u64>(kProcs, 0)};
+  std::vector<u64> external_evicted{std::vector<u64>(kProcs, 0)};
+  std::vector<std::vector<u64>> anon_model;  // [proc][page] expected value
+  std::vector<u64> file_model;               // [page] expected value (shared)
+  VirtAddr file_base = 0, anon_base = 0, zero_base = 0;
+
+  Storm() : pool(sim, pool_cfg(), "pool") {
+    for (u64 i = 0; i < kProcs; ++i) {
+      auto as = std::make_unique<mem::AddressSpace>(pm, frames, mem::PageTableConfig{});
+      as->set_share_index(&share);
+      auto pr = std::make_unique<rt::Process>(sim, *as, "w" + std::to_string(i));
+      PagerConfig cfg;
+      cfg.budget_mode = BudgetMode::kGlobal;
+      auto pg = std::make_unique<Pager>(sim, *pr, cfg, "w" + std::to_string(i) + ".pager");
+      pool.attach(*pg);
+      spaces.push_back(std::move(as));
+      procs.push_back(std::move(pr));
+      pagers.push_back(std::move(pg));
+    }
+    // Parent image: a seeded MAP_SHARED file plus dirty anonymous pages.
+    mem::BackingFile& file = files.create("storm.dat", kFilePages * kPageSz);
+    file_model.assign(kFilePages, 0);
+    for (u64 p = 0; p < kFilePages; ++p) {
+      std::vector<u8> block(kPageSz, 0);
+      const u64 v = 0xF0F0 + p;
+      std::memcpy(block.data(), &v, 8);
+      file.write(p * kPageSz, block);
+      file_model[p] = v;
+    }
+    file_base = procs[0]->mmap(file, 0, kFilePages * kPageSz, /*shared=*/true);
+    anon_base = spaces[0]->alloc(kAnonPages * kPageSz, kPageSz);
+    zero_base = spaces[0]->alloc(2 * kPageSz, kPageSz);
+    anon_model.assign(kProcs, std::vector<u64>(kAnonPages, 0));
+    for (u64 p = 0; p < kAnonPages; ++p) {
+      const u64 v = 0xA000 + p;
+      spaces[0]->write_u64(anon_base + p * kPageSz, v);
+      for (u64 i = 0; i < kProcs; ++i) anon_model[i][p] = v;
+    }
+    for (u64 p = 0; p < kFilePages / 2; ++p)  // half the file resident at fork
+      (void)spaces[0]->read_u64(file_base + p * kPageSz);
+    for (u64 i = 1; i < kProcs; ++i) procs[0]->fork(*procs[i]);
+    test::run_until_drained(sim);
+  }
+
+  static FramePoolConfig pool_cfg() {
+    FramePoolConfig cfg;
+    cfg.mode = BudgetMode::kGlobal;
+    cfg.total_frames = 14;  // well under the ~28-mapping peak: evictions flow
+    cfg.policy = PolicyKind::kClock;
+    return cfg;
+  }
+
+  /// Drives one fault synchronously (drain after issue), classifying it the
+  /// way the ledgers partition: unmapped -> read bucket, resident
+  /// read-only + write -> COW bucket.
+  void drive(u64 w, VirtAddr va, bool is_write) {
+    mem::AddressSpace& as = *spaces[w];
+    const auto pte = as.page_table().lookup(va);
+    if (pte && (!is_write || pte->writable)) return;  // nothing to fault
+    if (!pte)
+      ++driven_reads[w];
+    else
+      ++driven_cows[w];
+    bool done = false;
+    pagers[w]->handle_fault(va, is_write, [&] {
+      if (!as.is_mapped(va)) procs[w]->map_in(va);
+      done = true;
+    });
+    test::run_until_drained(sim);
+    ASSERT_TRUE(done);
+  }
+
+  void run_ops(u64 seed) {
+    std::mt19937 rng(seed);
+    for (u64 op = 0; op < kOps; ++op) {
+      const u64 w = rng() % kProcs;
+      switch (rng() % 6) {
+        case 0: {  // COW (or refault) write to an anonymous page
+          const u64 p = rng() % kAnonPages;
+          const VirtAddr va = anon_base + p * kPageSz;
+          drive(w, va, /*is_write=*/true);
+          const u64 v = 0xC0DE0000 + (w << 8) + (rng() & 0xFF);
+          spaces[w]->write_u64(va, v);
+          anon_model[w][p] = v;
+          break;
+        }
+        case 1: {  // driven read fault on a file page
+          const u64 p = rng() % kFilePages;
+          drive(w, file_base + p * kPageSz, /*is_write=*/false);
+          break;
+        }
+        case 2: {  // software store to a MAP_SHARED page: visible machine-wide
+          const u64 p = rng() % kFilePages;
+          const u64 v = 0x5A5A0000 + (w << 8) + (rng() & 0xFF);
+          spaces[w]->write_u64(file_base + p * kPageSz, v);
+          file_model[p] = v;
+          break;
+        }
+        case 3: {  // external eviction (setup-style, not pager-driven)
+          const u64 p = rng() % (kFilePages + kAnonPages);
+          const VirtAddr va = (p < kFilePages ? file_base + p * kPageSz
+                                              : anon_base + (p - kFilePages) * kPageSz);
+          external_evicted[w] += procs[w]->evict(va, kPageSz);
+          break;
+        }
+        case 4: {  // driven read fault on an evicted/fresh anon page
+          const u64 p = rng() % kAnonPages;
+          drive(w, anon_base + p * kPageSz, /*is_write=*/false);
+          break;
+        }
+        default: {  // zero-fill territory
+          const VirtAddr va = zero_base + (rng() % 2) * kPageSz;
+          drive(w, va, /*is_write=*/false);
+          break;
+        }
+      }
+    }
+    test::run_until_drained(sim);
+  }
+
+  void check_invariants() {
+    // Refcount identity.
+    std::map<u64, u64> per_frame;
+    u64 mappings = 0;
+    for (const auto& as : spaces)
+      as->for_each_resident([&](u64 vpn) {
+        ++per_frame[*as->frame_of(vpn)];
+        ++mappings;
+      });
+    EXPECT_EQ(mappings, pool.mapped_pages());
+    EXPECT_EQ(per_frame.size(), pool.resident_pages());
+    for (const auto& [frame, count] : per_frame) EXPECT_EQ(frames.refcount(frame), count);
+
+    // Ledgers.
+    for (u64 w = 0; w < kProcs; ++w) {
+      const Pager& pg = *pagers[w];
+      EXPECT_EQ(pg.swap_ins() + pg.file_reads() + pg.zero_fills() + pg.share_hits() +
+                    pg.inherited_fills(),
+                driven_reads[w])
+          << "read-fault ledger, w" << w;
+      EXPECT_EQ(pg.cow_copies() + pg.cow_upgrades(), driven_cows[w]) << "COW ledger, w" << w;
+      EXPECT_EQ(pg.swap_releases() + pg.file_drops() + pg.file_writebacks() +
+                    pg.shared_releases(),
+                pg.evictions() + external_evicted[w])
+          << "unmap partition, w" << w;
+    }
+
+    // Content: divergence preserved, sharing coherent.
+    for (u64 w = 0; w < kProcs; ++w)
+      for (u64 p = 0; p < kAnonPages; ++p)
+        EXPECT_EQ(spaces[w]->read_u64(anon_base + p * kPageSz), anon_model[w][p])
+            << "anon w" << w << " p" << p;
+    for (u64 w = 0; w < kProcs; ++w)
+      for (u64 p = 0; p < kFilePages; ++p)
+        EXPECT_EQ(spaces[w]->read_u64(file_base + p * kPageSz), file_model[p])
+            << "file w" << w << " p" << p;
+  }
+};
+
+StormResult run_storm(u64 seed) {
+  Storm storm;
+  storm.run_ops(seed);
+  storm.check_invariants();
+  StormResult r;
+  r.cycles = storm.sim.now();
+  r.events = storm.sim.events_executed();
+  r.snapshot = storm.sim.stats().snapshot();
+  return r;
+}
+
+TEST(CowStress, TwentySeedStormsKeepInvariantsAndDeterminism) {
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const StormResult a = run_storm(seed);
+    const StormResult b = run_storm(seed);  // fresh simulator, same seed
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.snapshot, b.snapshot);
+  }
+}
+
+}  // namespace
+}  // namespace vmsls::paging

@@ -72,10 +72,11 @@ RunOutcome run_seed(u64 seed, u64 bcache_capacity) {
   // The cold-start evicts above route through the lifecycle fork too (the
   // setup pages are dirty, so they write through the cache) — the eviction
   // ledger below is therefore a run-phase delta.
-  std::vector<std::array<u64, 3>> before;  // evictions, file_drops, file_writebacks
+  std::vector<std::array<u64, 4>> before;  // evictions, drops, writebacks, shared_releases
   for (unsigned i = 0; i < kProcs; ++i) {
     paging::Pager& pager = *group.process(i).pager();
-    before.push_back({pager.evictions(), pager.file_drops(), pager.file_writebacks()});
+    before.push_back({pager.evictions(), pager.file_drops(), pager.file_writebacks(),
+                      pager.shared_releases()});
   }
 
   group.start_all();
@@ -92,12 +93,15 @@ RunOutcome run_seed(u64 seed, u64 bcache_capacity) {
     EXPECT_TRUE(wls[i].verify(group.process(i))) << "seed " << seed << " p" << i;
     paging::Pager& pager = *group.process(i).pager();
     // File-backed working set: zero swap traffic, every pager eviction a
-    // clean drop or a cache write-through, every refault a cache lookup.
+    // clean drop, a cache write-through, or — now that the frames are
+    // refcounted — a release of a frame other sharers still hold; every
+    // refault a cache lookup.
     EXPECT_EQ(pager.swap().reads(), 0u) << "seed " << seed;
     EXPECT_EQ(pager.swap().writes(), 0u) << "seed " << seed;
     EXPECT_EQ(pager.swap_ins(), 0u) << "seed " << seed;
-    EXPECT_EQ(pager.evictions() - before[i][0], (pager.file_drops() - before[i][1]) +
-                                                    (pager.file_writebacks() - before[i][2]))
+    EXPECT_EQ(pager.evictions() - before[i][0],
+              (pager.file_drops() - before[i][1]) + (pager.file_writebacks() - before[i][2]) +
+                  (pager.shared_releases() - before[i][3]))
         << "seed " << seed;
     EXPECT_EQ(pager.file_reads(),
               pager.buffer_cache().client_hits(pager.bcache_client()) +

@@ -15,7 +15,14 @@ a configuration error.
 Every section present in the baseline must exist in the fresh report and
 retire at least (1 - threshold) x the baseline events/s. Sections new in the
 fresh report are listed but do not gate (they gate once the baseline is
-refreshed). The same applies one level down: a metric present in a fresh
+refreshed).
+
+Beyond events/s, sections can carry extra quality metrics (fig14's
+dedup_ratio, share_fault_cycles, cow_fault_cycles). Those are simulated —
+deterministic, host-independent — so when a metric listed in EXTRA_METRICS
+appears in a baseline section it gates at the much tighter
+--metric-threshold, in the direction the table declares (dedup higher is
+better, per-fault cycle costs lower is better). The same applies one level down: a metric present in a fresh
 section but missing from (or malformed in) the committed baseline section is
 informational, never an error — the tool prints a hint to refresh
 bench/baselines/ instead of crashing or failing the gate. Sections with no
@@ -51,6 +58,16 @@ import argparse
 import json
 import os
 import sys
+
+# Simulated (deterministic) per-section quality metrics and the direction
+# that counts as "better": +1 means higher is better, -1 lower. A metric
+# listed here gates whenever the committed baseline section carries it;
+# extra metrics NOT listed stay informational.
+EXTRA_METRICS = {
+    "dedup_ratio": +1,
+    "share_fault_cycles": -1,
+    "cow_fault_cycles": -1,
+}
 
 
 def load(path):
@@ -125,6 +142,9 @@ def main():
                     help="allowed fractional events/s regression (default 0.25)")
     ap.add_argument("--min-events", type=int, default=10000,
                     help="sections with fewer baseline events are not gated (default 10000)")
+    ap.add_argument("--metric-threshold", type=float, default=0.02,
+                    help="allowed fractional drift for simulated EXTRA_METRICS "
+                         "(deterministic, so tight; default 0.02)")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -171,6 +191,30 @@ def main():
         rows.append((name, base_eps, fresh_eps,
                      f"{ratio:6.2f}x {'ok' if ok else 'REGRESSION'}"))
 
+    # Simulated quality metrics: deterministic, so they gate tightly and in
+    # the direction EXTRA_METRICS declares, independent of events/s gating
+    # (tiny-event sections like fig14's smoke cells still gate on these).
+    for name, base in baseline.items():
+        for key, direction in EXTRA_METRICS.items():
+            base_v = metric(base, key)
+            if base_v is None:
+                continue
+            label = f"{name}.{key}"
+            fresh_v = metric(fresh[name], key) if name in fresh else None
+            if fresh_v is None:
+                failures.append(label)
+                rows.append((label, base_v, None, f"MISSING {key} in fresh report"))
+                continue
+            if direction > 0:
+                ok = fresh_v >= base_v * (1.0 - args.metric_threshold)
+            else:
+                ok = fresh_v <= base_v * (1.0 + args.metric_threshold) + 1e-12
+            if not ok:
+                failures.append(label)
+            arrow = "higher" if direction > 0 else "lower"
+            rows.append((label, base_v, fresh_v,
+                         f"{'ok' if ok else 'REGRESSION'} ({arrow} is better)"))
+
     new_sections = sorted(set(fresh) - set(baseline))
     # Metrics the current run reports inside known sections that the
     # committed baseline lacks: informational, with a refresh hint.
@@ -188,7 +232,8 @@ def main():
         (biggest regression at the top), then informational skips."""
         name, base_eps, fresh_eps, verdict = row
         if fresh_eps is None:
-            return (0.0, name) if name + ".events_per_sec" in failures else (2.0, name)
+            missing = name in failures or name + ".events_per_sec" in failures
+            return (0.0, name) if missing else (2.0, name)
         return (1.0 + min(fresh_eps / base_eps, 1e9) / 1e12, name) if base_eps > 0 \
             else (1.0, name)
 
@@ -208,8 +253,9 @@ def main():
     write_github_summary(rows, new_sections, new_metrics, failures, args.threshold)
 
     if failures:
-        print(f"\ncheck_bench: FAIL — {len(failures)} metric(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(failures)}")
+        print(f"\ncheck_bench: FAIL — {len(failures)} metric(s) regressed (events/s "
+              f"threshold {args.threshold:.0%}, simulated-metric threshold "
+              f"{args.metric_threshold:.0%}): {', '.join(failures)}")
         print("If intentional, refresh the baseline (see --help).")
         return 1
     print(f"\ncheck_bench: OK — all {len(rows)} gated section(s) within "
