@@ -1,0 +1,329 @@
+// Figure 15 — Serving mode: open-arrival traffic and the max-QPS-at-p99
+// curve.
+//
+// Every figure before this one is closed-loop: the batch is present at
+// t=0 and the metric is makespan. Fig15 asks the production question.
+// Requests arrive on a seeded Poisson process, wait in a bounded admission
+// queue, and are served by a ProcessGroup worker pool whose service path
+// is the paging plane itself: each request is a workload-shaped episode of
+// page touches driven through the worker's pager, over an arena larger
+// than the worker's frame budget, against ONE shared swap device. As the
+// arrival rate climbs, the swap queue backs up, fault stalls stretch, and
+// the p99 latency bends — the rate sweep walks upward until the p99 bound
+// breaks and reports "max QPS at p99 < bound" per swap-scheduling policy
+// (FIFO vs priority dispatch), the headline curve.
+//
+// Gates (hard errors, every cell):
+//   * request ledger — arrivals == admitted + rejected == configured
+//     requests and completed == admitted (enforced inside
+//     TrafficDriver::run, re-asserted here),
+//   * drained queues — the admission queue, every worker, the swap queue,
+//     and the event queue are all empty after the run,
+//   * sustainable points reject nothing (a drop would make "max QPS" a
+//     lie),
+//   * bit-identical rerun — one grid point rerun on a fresh simulator
+//     matches down to the full stat snapshot,
+//   * serial == ShardedRunner across rate points (any worker count),
+//   * the sweep actually saturates (the knee exists inside the grid) and
+//     each policy sustains >= 4 rate points below the bound,
+//   * priority dispatch sustains at least the FIFO rate (the recovery
+//     regime fig12 established, restated in open-loop terms).
+//
+// Artifacts: BENCH_fig15_serving.json (engine-report schema plus
+// p99_latency_cycles / qps_mcycle metrics — gated by tools/check_bench.py
+// once baselined) and fig15_serving_summary.txt.
+//
+// --smoke mode (CI's Release run): fewer requests per point and a single
+// rerun cell, every gate kept.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mem/paging/swap_scheduler.hpp"
+#include "sls/process_group.hpp"
+#include "sls/report_writer.hpp"
+#include "sls/sharded_runner.hpp"
+#include "sls/traffic.hpp"
+#include "util/table.hpp"
+
+using namespace vmsls;
+
+namespace {
+
+struct PointOptions {
+  paging::SwapSchedPolicy policy = paging::SwapSchedPolicy::kFifo;
+  Cycles mean_gap = 4000;  // arrival rate axis (cycles between arrivals)
+  u64 requests = 600;
+  unsigned workers = 4;
+};
+
+struct PointResult {
+  sls::TrafficDriver::Report rep;
+  u64 events = 0;
+  double host_ms = 0;
+  std::map<std::string, double> snapshot;  // full registry, for bit-identity
+  std::string serving_summary;
+  std::string swap_summary;
+};
+
+void require_gate(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error("fig15: " + what);
+}
+
+const char* policy_name(paging::SwapSchedPolicy p) {
+  return p == paging::SwapSchedPolicy::kPriority ? "priority" : "fifo";
+}
+
+sls::PlatformSpec serving_platform(const PointOptions& opt) {
+  sls::PlatformSpec plat = sls::zynq7020();
+  plat.pager.budget_mode = paging::BudgetMode::kPerProcess;
+  plat.pager.policy = paging::PolicyKind::kClock;
+  plat.pager.policy_seed = 7;
+  // The contended resource: one flash part for the whole pool, scheduled
+  // FIFO or priority — the policy axis of the figure.
+  plat.pager.swap.shared = true;
+  plat.pager.swap.sched = opt.policy;
+  plat.pager.swap.read_latency = 60;
+  plat.pager.swap.write_latency = 120;
+  plat.pager.swap.bytes_per_cycle = 64;
+
+  plat.traffic.arrival.kind = sim::ArrivalConfig::Kind::kPoisson;
+  plat.traffic.arrival.mean_gap = opt.mean_gap;
+  plat.traffic.arrival.seed = 99;
+  plat.traffic.requests = opt.requests;
+  plat.traffic.queue_capacity = 64;
+  plat.traffic.episode_touches = 24;
+  plat.traffic.arena_pages = 48;
+  plat.traffic.touch_cost = 20;
+  plat.traffic.write_ratio = 0.25;
+  return plat;
+}
+
+/// One serving run on a caller-supplied simulator (the sharded grid hands
+/// each rate point its own Simulator; the serial wrapper below keeps the
+/// single-run shape).
+PointResult run_point_on(sim::Simulator& sim, const PointOptions& opt) {
+  bench::WallTimer timer;
+  const sls::PlatformSpec plat = serving_platform(opt);
+
+  paging::FramePoolConfig pool_cfg;
+  pool_cfg.mode = paging::BudgetMode::kPerProcess;
+  pool_cfg.policy = plat.pager.policy;
+  pool_cfg.policy_seed = 7;
+
+  sls::ProcessGroup group(sim, plat, pool_cfg);
+  for (unsigned i = 0; i < opt.workers; ++i) {
+    // Tiny image: the worker's engine never runs — the serving episode IS
+    // the workload, driven through the pager. The budget sits well below
+    // the arena, so steady-state episodes fault, evict, and write back.
+    workloads::WorkloadParams p;
+    p.n = 64;
+    p.seed = 1 + i;
+    const workloads::Workload wl = workloads::make_vecadd(p);
+    sls::PlatformSpec proc_plat = plat;
+    proc_plat.pager.frame_budget = 20;  // arena_pages = 48: ~40% resident
+    sls::SynthesisFlow flow(proc_plat);
+    const auto app = workloads::single_thread_app(wl, sls::ThreadKind::kHardware);
+    group.add_process(flow.synthesize(app), "p" + std::to_string(i));
+  }
+
+  sls::TrafficDriver driver(group, plat.traffic);
+  const u64 events_before = sim.events_executed();
+  PointResult r;
+  r.rep = driver.run();
+  r.events = sim.events_executed() - events_before;
+  r.host_ms = timer.ms();
+
+  // Drained-queue gates beyond what the driver enforces internally.
+  require_gate(driver.queue_depth() == 0, "admission queue not drained");
+  require_gate(driver.busy_workers() == 0, "workers busy after drain");
+  require_gate(group.shared_swap() != nullptr && group.shared_swap()->queue_depth() == 0,
+               "swap queue not drained");
+  require_gate(sim.idle(), "event queue not drained");
+  // Request-ledger identity, re-asserted from the report.
+  require_gate(r.rep.arrivals == opt.requests, "arrivals != configured requests");
+  require_gate(r.rep.admitted + r.rep.rejected == r.rep.arrivals,
+               "admitted + rejected != arrivals");
+  require_gate(r.rep.completed == r.rep.admitted, "completed != admitted");
+  require_gate(r.rep.latency.size() == r.rep.completed, "latency samples != completions");
+
+  std::ostringstream serving, swap;
+  sls::write_serving_summary(serving, sim.stats());
+  sls::write_swap_summary(swap, sim.stats());
+  r.serving_summary = serving.str();
+  r.swap_summary = swap.str();
+  r.snapshot = sim.stats().snapshot();
+  return r;
+}
+
+PointResult run_point(const PointOptions& opt) {
+  sim::Simulator sim;
+  return run_point_on(sim, opt);
+}
+
+void determinism_gate(const PointOptions& opt) {
+  const PointResult a = run_point(opt);
+  const PointResult b = run_point(opt);
+  if (a.rep.latency != b.rep.latency || a.rep.span != b.rep.span || a.events != b.events ||
+      a.snapshot != b.snapshot)
+    throw std::runtime_error("fig15: rerun is NOT bit-identical");
+  std::cout << "[determinism] gap=" << opt.mean_gap << " rerun: span=" << a.rep.span
+            << "c p99=" << a.rep.latency_p(0.99) << "c stats=" << a.snapshot.size()
+            << " entries (bit-identical)\n";
+}
+
+void sharded_gate(const std::vector<PointOptions>& grid, unsigned shard_workers) {
+  // Every rate point of the grid as its own shard: the merged registry must
+  // be bit-identical to the serial walk — open-arrival sampling adds no
+  // hidden cross-shard state.
+  std::vector<sls::Shard> shards;
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    shards.push_back({"r" + std::to_string(i),
+                      [opt = grid[i]](sim::Simulator& sim) { run_point_on(sim, opt); }});
+  sls::ShardedRunner runner(shard_workers);
+  const sls::ShardedReport report = runner.run(shards);
+  runner.verify_against_serial(shards, report);
+  std::cout << "[shards] " << grid.size() << " rate points on " << shard_workers
+            << " host threads == serial (bit-identical)\n";
+}
+
+int run_grid(bool smoke, unsigned shard_workers) {
+  // Rate grid, slowest first (gaps descending = rate ascending). The knee
+  // must land inside the grid for both policies, with >= 4 sustainable
+  // points below it.
+  const std::vector<Cycles> gaps = {20000, 14000, 10000, 7000, 5000, 3500, 2500, 1800, 1200, 800};
+  const Cycles p99_bound = 60'000;
+  const u64 requests = smoke ? 300 : 600;
+
+  {
+    PointOptions det;
+    det.mean_gap = 7000;
+    det.requests = smoke ? 150 : 300;
+    determinism_gate(det);
+  }
+  {
+    std::vector<PointOptions> shard_grid;
+    for (const Cycles gap : {14000, 5000}) {
+      for (const auto policy : {paging::SwapSchedPolicy::kFifo, paging::SwapSchedPolicy::kPriority}) {
+        PointOptions opt;
+        opt.policy = policy;
+        opt.mean_gap = gap;
+        opt.requests = smoke ? 150 : 300;
+        shard_grid.push_back(opt);
+      }
+    }
+    sharded_gate(shard_grid, shard_workers);
+  }
+
+  bench::EngineBenchReport engine;
+  Table table({"policy", "gap", "qps/Mcyc", "p50", "p95", "p99", "q_wait p99", "rej", "verdict"});
+  std::map<std::string, sls::RateSweepResult> sweeps;
+  std::map<std::string, PointResult> knee_points;
+
+  for (const auto policy : {paging::SwapSchedPolicy::kFifo, paging::SwapSchedPolicy::kPriority}) {
+    const std::string pname = policy_name(policy);
+    std::map<Cycles, PointResult> by_gap;
+    const sls::RateSweepResult sweep = sls::sweep_rates(
+        gaps, p99_bound, [&](Cycles gap) {
+          PointOptions opt;
+          opt.policy = policy;
+          opt.mean_gap = gap;
+          opt.requests = requests;
+          PointResult r = run_point(opt);
+          sls::TrafficDriver::Report rep = r.rep;
+          by_gap.emplace(gap, std::move(r));
+          return rep;
+        });
+    require_gate(sweep.saturated, pname + ": the sweep never saturated — raise the rate grid");
+    require_gate(sweep.points.size() >= 5,
+                 pname + ": fewer than 4 sustainable rate points below the p99 bound");
+
+    for (const sls::RatePoint& pt : sweep.points) {
+      const PointResult& r = by_gap.at(pt.mean_gap);
+      const std::string label = "fig15/" + pname + "/gap" + std::to_string(pt.mean_gap);
+      table.add_row({pname, Table::num(pt.mean_gap), Table::num(pt.qps_mcycle, 2),
+                     Table::num(r.rep.latency_p(0.50)), Table::num(r.rep.latency_p(0.95)),
+                     Table::num(pt.p99), Table::num(sls::TrafficDriver::Report::percentile(
+                                             r.rep.queue_wait, 0.99)),
+                     Table::num(pt.rejected), pt.violated ? "VIOLATED" : "ok"});
+      engine.add(label, r.rep.span, r.events, r.host_ms);
+      engine.add_metric(label, "p99_latency_cycles", static_cast<double>(pt.p99));
+      engine.add_metric(label, "qps_mcycle", pt.qps_mcycle);
+      if (!pt.violated) {
+        // Sustainable points must not shed load: a drop would inflate the
+        // "max QPS" headline.
+        require_gate(pt.rejected == 0, pname + ": sustainable point rejected requests");
+      }
+    }
+    knee_points.emplace(pname, std::move(by_gap.at(sweep.max_qps_gap)));
+    sweeps.emplace(pname, sweep);
+  }
+
+  table.print(std::cout,
+              "Figure 15: open-arrival serving (Poisson arrivals, bounded queue, "
+              "shared swap; p99 bound " + std::to_string(p99_bound) + " cycles)");
+
+  // Priority dispatch must sustain at least FIFO's rate step: demand reads
+  // bypassing queued writebacks must not LOWER the sustainable rate. The
+  // comparison is on the discrete grid (smaller gap = higher rate), not on
+  // measured QPS — at a shared knee the two policies' throughputs differ
+  // only by span noise. (Checked after the table prints so a failure is
+  // diagnosable.)
+  require_gate(sweeps.at("priority").max_qps_gap <= sweeps.at("fifo").max_qps_gap,
+               "priority dispatch sustained a LOWER rate step than FIFO");
+
+  std::ostringstream headline;
+  headline << "fig15 headline: max QPS at p99 < " << p99_bound << " cycles\n";
+  for (const auto& [pname, sweep] : sweeps) {
+    headline << "  " << pname << "  max " << sweep.max_qps_mcycle
+             << " req/Mcycle (gap " << sweep.max_qps_gap << "c, p99 " << sweep.max_qps_p99
+             << "c); knee at the next rate step\n";
+  }
+  headline << "  every arrival admitted or rejected, every admitted request completed,\n"
+           << "  all queues drained, and the run is bit-identical across reruns and shards\n";
+  std::cout << headline.str();
+
+  engine.write_json("BENCH_fig15_serving.json");
+  {
+    std::ofstream summary("fig15_serving_summary.txt");
+    summary << headline.str();
+    std::ostringstream table_txt;
+    table.print(table_txt, "Figure 15");
+    summary << table_txt.str();
+    for (const auto& [pname, knee] : knee_points) {
+      summary << "\n-- " << pname << " @ max sustainable rate --\n"
+              << knee.serving_summary << knee.swap_summary;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  unsigned shard_workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shard_workers = static_cast<unsigned>(std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else {
+      std::cerr << "usage: bench_fig15_serving [--smoke] [--shards=N]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  try {
+    return run_grid(smoke, shard_workers);
+  } catch (const std::exception& e) {
+    std::cerr << "fig15 FAILED: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -40,6 +40,9 @@ SwapScheduler::SwapScheduler(sim::Simulator& sim, const SwapConfig& cfg, u64 pag
   require(cfg.cluster_pages > 0, "swap scheduler needs a nonzero cluster size");
   require(cfg.writeback_starvation_limit > 0,
           "swap scheduler needs a nonzero writeback starvation limit");
+  for (unsigned i = 0; i < class_wait_.size(); ++i)
+    class_wait_[i] = &sim.stats().histogram(
+        name_ + ".sched.wait_" + swap_req_class_name(static_cast<SwapReqClass>(i)));
   trace_track_ = sim_.trace().track(name_);
 }
 
@@ -244,6 +247,7 @@ void SwapScheduler::dispatch(std::vector<Request> batch) {
   for (const Request& r : batch) {
     const Cycles waited = sim_.now() - r.enqueued;
     queue_wait_.record(waited);
+    class_wait_[static_cast<unsigned>(r.cls)]->record(waited);
     Owner& o = owners_.at(r.owner);
     if (o.queue_wait != nullptr) o.queue_wait->record(waited);
     if (is_write_class(r.cls)) {

@@ -29,6 +29,7 @@
 // aliased, not double-counted.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <set>
@@ -191,6 +192,10 @@ class SwapScheduler {
 
   Histogram& queue_wait_;
   Histogram& queue_depth_;
+  /// Queue wait split by request class ("<name>.sched.wait_<class>"): the
+  /// fault-path latency attribution serving-mode tail analysis reads — a
+  /// demand read stuck behind writebacks shows here, not in the aggregate.
+  std::array<Histogram*, 4> class_wait_{};
   Counter& demand_reads_;
   Counter& demand_writes_;
   Counter& prefetch_reads_;

@@ -1,0 +1,43 @@
+#include "sim/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmsls::sim {
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.mean_gap == 0) throw std::invalid_argument("arrival: mean_gap must be >= 1 cycle");
+  if (cfg_.burst_factor < 1.0)
+    throw std::invalid_argument("arrival: burst_factor must be >= 1 (use mean_gap for the rate)");
+  if (cfg_.burst_duty < 0.0 || cfg_.burst_duty > 1.0)
+    throw std::invalid_argument("arrival: burst_duty must lie in [0, 1]");
+}
+
+bool ArrivalProcess::in_burst(Cycles now) const noexcept {
+  if (cfg_.burst_period == 0 || cfg_.burst_factor <= 1.0) return false;
+  const Cycles phase = now % cfg_.burst_period;
+  return static_cast<double>(phase) <
+         cfg_.burst_duty * static_cast<double>(cfg_.burst_period);
+}
+
+Cycles ArrivalProcess::next_gap(Cycles now) {
+  // One Rng draw per call in BOTH kinds: switching the distribution (or the
+  // burst phase) never desynchronizes the stream against a run that made
+  // the same number of calls — the same property the workload generators
+  // keep for their data seeds.
+  const double u = rng_.uniform();
+  const double mean = static_cast<double>(cfg_.mean_gap) /
+                      (in_burst(now) ? cfg_.burst_factor : 1.0);
+  double gap;
+  if (cfg_.kind == ArrivalConfig::Kind::kDeterministic) {
+    gap = mean;
+  } else {
+    // Inverse-CDF exponential draw; u is in [0, 1) so log(1 - u) is finite.
+    gap = -std::log(1.0 - u) * mean;
+  }
+  const double rounded = std::floor(gap + 0.5);
+  if (rounded < 1.0) return 1;
+  return static_cast<Cycles>(rounded);
+}
+
+}  // namespace vmsls::sim

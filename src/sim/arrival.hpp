@@ -1,0 +1,65 @@
+// Open-system arrival process: the event source serving-mode runs on.
+//
+// Closed-loop benches (fig9-14) measure makespan: every request is present
+// at t=0 and the metric is "when does the last one finish". Production
+// memory managers are judged open-loop: requests arrive on their own clock,
+// whether or not the machine is keeping up, and the metrics are tail
+// latency and the highest arrival rate the system sustains under a latency
+// bound. This class samples the inter-arrival gaps of that open process —
+// deterministically seeded (util/Rng, never wall clock), so a serving run
+// inherits every bit-identity gate the closed-loop benches already enforce.
+//
+// Two base processes plus a modulator:
+//
+//   * kPoisson        — exponential gaps around `mean_gap` (memoryless:
+//                       the M/*/k arrival side of the classic open model),
+//   * kDeterministic  — fixed gaps of exactly `mean_gap` (a conveyor belt;
+//                       isolates queueing noise from arrival noise),
+//   * burst/lull      — a square wave over the cycle clock: inside a burst
+//                       window the instantaneous rate is multiplied by
+//                       `burst_factor`, outside it the process runs at the
+//                       nominal rate. Burstiness is what separates a p99
+//                       story from a mean story, so it is a first-class
+//                       knob, not a workload hack.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace vmsls::sim {
+
+/// Arrival-process knobs (see sls::TrafficConfig::arrival).
+struct ArrivalConfig {
+  enum class Kind { kPoisson, kDeterministic };
+  Kind kind = Kind::kPoisson;   ///< gap distribution (exponential or fixed)
+  Cycles mean_gap = 20'000;     ///< nominal mean inter-arrival gap in cycles
+  u64 seed = 1;                 ///< Rng stream seed (gap sampling only)
+  double burst_factor = 1.0;    ///< rate multiplier inside a burst (>= 1)
+  Cycles burst_period = 0;      ///< square-wave period in cycles; 0 = flat
+  double burst_duty = 0.25;     ///< fraction of each period spent bursting
+};
+
+/// Samples successive inter-arrival gaps. One instance per serving run;
+/// construction captures the seed, so two processes built from the same
+/// config emit bit-identical gap streams.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& cfg);
+
+  /// The gap from `now` to the next arrival, always >= 1 cycle. `now`
+  /// drives only the burst/lull phase; the stochastic state advances one
+  /// draw per call regardless, so traced and untraced runs stay identical.
+  Cycles next_gap(Cycles now);
+
+  /// True when `now` falls inside a burst window of the modulator (always
+  /// false when burst_period == 0 or burst_factor <= 1).
+  bool in_burst(Cycles now) const noexcept;
+
+  const ArrivalConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ArrivalConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace vmsls::sim

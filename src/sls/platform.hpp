@@ -20,10 +20,31 @@
 #include "mem/tlb.hpp"
 #include "mem/walker.hpp"
 #include "rt/os.hpp"
+#include "sim/arrival.hpp"
 #include "sim/telemetry.hpp"
 #include "sls/resources.hpp"
 
 namespace vmsls::sls {
+
+/// Serving-mode (open-system) traffic knobs — consumed by sls::TrafficDriver.
+/// Defined here (not in traffic.hpp) so PlatformSpec can carry the config
+/// without the platform header depending on the driver layer above it.
+struct TrafficConfig {
+  /// Arrival-process shape: distribution, rate (mean_gap), seed, and the
+  /// burst/lull modulator (see sim/arrival.hpp).
+  sim::ArrivalConfig arrival{};
+  u64 requests = 0;          ///< arrivals per run; 0 disables serving mode
+  u64 queue_capacity = 16;   ///< bounded admission queue; overflow rejects
+  u64 episode_touches = 32;  ///< page touches per request episode
+  u64 arena_pages = 64;      ///< per-worker arena the episodes touch
+  Cycles touch_cost = 20;    ///< compute cycles charged per touch
+  double write_ratio = 0.25; ///< fraction of touches that store (dirty pages)
+  /// Comma-separated episode patterns cycled across requests. Each name
+  /// selects the access shape of the matching workload generator family:
+  /// "saxpy"/"vecadd" = sequential sweep, "matmul" = strided, "hash_join"/
+  /// "histogram" = uniform random, "pointer_chase"/"bfs" = dependent chase.
+  std::string mix = "saxpy,hash_join,pointer_chase,matmul";
+};
 
 struct PlatformSpec {
   std::string name = "zynq7020";
@@ -57,6 +78,10 @@ struct PlatformSpec {
   /// queue depths, and per-process fault/prefetch pressure every period
   /// cycles. 0 (the default) elides the sampler entirely.
   sim::TelemetryConfig telemetry{};
+  /// Open-arrival serving mode (see sls/traffic.hpp): request rate, bounded
+  /// admission queue, and episode shape for TrafficDriver runs.
+  /// `traffic.requests == 0` (the default) means no serving plane.
+  TrafficConfig traffic{};
 
   Addr ctrl_base = 0x4000'0000;  // control-register window (metadata only)
   u64 ctrl_stride = 0x1000;

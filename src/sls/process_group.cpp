@@ -129,4 +129,13 @@ Cycles ProcessGroup::run_to_completion(Cycles max_cycles) {
   return sim_.now() - t0;
 }
 
+Cycles ProcessGroup::drain(Cycles max_cycles) {
+  const Cycles t0 = sim_.now();
+  while (sim_.step())
+    if (sim_.now() - t0 > max_cycles)
+      throw std::runtime_error("event queue failed to drain within " +
+                               std::to_string(max_cycles) + " cycles");
+  return sim_.now() - t0;
+}
+
 }  // namespace vmsls::sls

@@ -40,6 +40,11 @@ class ProcessGroup {
   System& process(std::size_t i) { return *systems_.at(i); }
   std::size_t size() const noexcept { return systems_.size(); }
 
+  /// The substrate-sizing platform the group was built with (page size,
+  /// DRAM, telemetry, traffic knobs) — what a serving driver layers on.
+  const PlatformSpec& platform() const noexcept { return platform_; }
+
+  sim::Simulator& simulator() noexcept { return sim_; }
   paging::FramePool& pool() noexcept { return *pool_; }
   mem::FrameAllocator& frames() noexcept { return *frames_; }
   rt::OsModel& os() noexcept { return *os_; }
@@ -74,6 +79,13 @@ class ProcessGroup {
   /// Runs until every started thread in every process halts. Throws on
   /// deadlock or when `max_cycles` elapse. Returns cycles elapsed.
   Cycles run_to_completion(Cycles max_cycles = 4'000'000'000ull);
+
+  /// The drained-queue gate, as a primitive: steps the simulator until the
+  /// event queue is empty (in-flight prefetches, pageouts, writebacks, and
+  /// flush daemons must all retire) or `max_cycles` elapse — the latter
+  /// throws. Returns cycles elapsed. Serving-mode drivers and the fig12+
+  /// benches share this instead of each open-coding the loop.
+  Cycles drain(Cycles max_cycles = 1'000'000'000ull);
 
  private:
   sim::Simulator& sim_;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 namespace vmsls::sls {
 
@@ -104,6 +105,39 @@ void write_swap_summary(std::ostream& os, const StatRegistry& stats,
      << " prefetch_reads=" << at("sched.prefetch_reads")
      << " writebacks=" << at("sched.writebacks")
      << " wb_promotions=" << at("sched.wb_promotions") << "\n";
+  // Per-class queue waits (the fault-path latency classes): printed only
+  // for classes that actually dispatched traffic.
+  bool any_class = false;
+  std::string class_line = "swap.sched.wait:";
+  for (const char* cls : {"demand_read", "demand_write", "prefetch_read", "writeback"}) {
+    const std::string key = std::string("sched.wait_") + cls;
+    if (at(key + ".count") <= 0) continue;
+    any_class = true;
+    std::ostringstream part;
+    part << " " << cls << "(mean=" << at(key + ".mean") << ",p99=" << at(key + ".p99") << ")";
+    class_line += part.str();
+  }
+  if (any_class) os << class_line << "\n";
+}
+
+void write_serving_summary(std::ostream& os, const StatRegistry& stats,
+                           const std::string& traffic_name) {
+  const auto tr = stats.snapshot_prefix(traffic_name + ".");
+  if (tr.empty()) {
+    os << "serving: inactive (no traffic driver named '" << traffic_name << "')\n";
+    return;
+  }
+  const auto at = [&tr, &traffic_name](const std::string& key) {
+    auto it = tr.find(traffic_name + "." + key);
+    return it == tr.end() ? 0.0 : it->second;
+  };
+  os << "serving: arrivals=" << at("arrivals") << " admitted=" << at("admitted")
+     << " rejected=" << at("rejected") << " completed=" << at("completed")
+     << " latency_p50=" << at("latency.p50") << " latency_p95=" << at("latency.p95")
+     << " latency_p99=" << at("latency.p99") << " latency_max=" << at("latency.max")
+     << " queue_wait_mean=" << at("queue_wait.mean")
+     << " queue_wait_p99=" << at("queue_wait.p99") << " service_mean=" << at("service.mean")
+     << "\n";
 }
 
 void write_file_cache_summary(std::ostream& os, const StatRegistry& stats,

@@ -57,6 +57,16 @@ void write_file_cache_summary(std::ostream& os, const StatRegistry& stats,
 void write_frame_pool_summary(std::ostream& os, const StatRegistry& stats,
                               const std::string& pool_name = "pool");
 
+/// Serving-plane summary after a TrafficDriver run: the request ledger
+/// (arrivals / admitted / rejected / completed), latency and queue-wait
+/// percentiles, and mean service time — the open-system counterpart of the
+/// makespan summaries above. Percentiles come from the registry histograms
+/// (bucketed, upper-bound approximations); exact values live in the
+/// driver's Report. Quiet (prints a note) when the registry holds no
+/// counters under `traffic_name`.
+void write_serving_summary(std::ostream& os, const StatRegistry& stats,
+                           const std::string& traffic_name = "traffic");
+
 /// One-line summary of the copy-based offload driver after a run: copies,
 /// bytes moved, pages pinned, pages faulted in during pinning, and the
 /// memory-pressure admission counters (pin_stalls = chunks queued behind

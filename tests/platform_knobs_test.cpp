@@ -94,6 +94,8 @@ TEST(PlatformKnobs, EveryConfigStructMemberIsDocumented) {
       {"src/dma/dma_engine.hpp", "DmaConfig"},
       {"src/dma/offload.hpp", "OffloadConfig"},
       {"src/sim/telemetry.hpp", "TelemetryConfig"},
+      {"src/sim/arrival.hpp", "ArrivalConfig"},
+      {"src/sls/platform.hpp", "TrafficConfig"},
   };
 
   for (const auto& [header, name] : structs) {

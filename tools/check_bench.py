@@ -12,10 +12,13 @@ micro_paging, ...) merge into one view before gating, so a single committed
 baseline can gate them all. A section name appearing in two fresh reports is
 a configuration error.
 
-Every section present in the baseline must exist in the fresh report and
-retire at least (1 - threshold) x the baseline events/s. Sections new in the
-fresh report are listed but do not gate (they gate once the baseline is
-refreshed).
+Every section present in the baseline must exist in the fresh report — a
+baseline section missing from the merged fresh view is a hard failure even
+when its events/s would only be informational (a vanished section means a
+bench stopped running, which the gate must not silently pass). Present
+sections must retire at least (1 - threshold) x the baseline events/s.
+Sections new in the fresh report are listed but do not gate (they gate once
+the baseline is refreshed).
 
 Beyond events/s, sections can carry extra quality metrics (fig14's
 dedup_ratio, share_fault_cycles, cow_fault_cycles). Those are simulated —
@@ -67,6 +70,10 @@ EXTRA_METRICS = {
     "dedup_ratio": +1,
     "share_fault_cycles": -1,
     "cow_fault_cycles": -1,
+    # fig15 serving curve: per-rate-point tail latency and measured
+    # throughput (both simulated, host-independent).
+    "p99_latency_cycles": -1,
+    "qps_mcycle": +1,
 }
 
 
@@ -159,7 +166,22 @@ def main():
     failures = []
     rows = []
     new_metrics = set()
+
+    # A baseline section absent from the merged fresh reports is ALWAYS a
+    # hard failure — even for sections whose events/s would be skipped as
+    # informational below. A section that stops being reported means a bench
+    # stopped running (or was renamed without refreshing the baseline), and
+    # silently passing that defeats the whole gate.
+    missing_sections = sorted(set(baseline) - set(fresh))
+    for name in missing_sections:
+        failures.append(name)
+        rows.append((name, metric(baseline[name], "events_per_sec") or 0.0, None,
+                     "MISSING from fresh report — bench not run, or section renamed "
+                     "without a baseline refresh"))
+
     for name, base in baseline.items():
+        if name in missing_sections:
+            continue  # already failed above; don't double-report
         base_eps = metric(base, "events_per_sec")
         if base_eps is None:
             # The committed baseline predates this metric: informational.
@@ -174,10 +196,6 @@ def main():
         # section's events/s is not a throughput, so it stays informational.
         if int(base_events or 0) < args.min_events:
             rows.append((name, base_eps, None, "skipped (events/s not a throughput here)"))
-            continue
-        if name not in fresh:
-            failures.append(name + ".events_per_sec")
-            rows.append((name, base_eps, None, "MISSING from fresh report"))
             continue
         fresh_eps = metric(fresh[name], "events_per_sec")
         if fresh_eps is None:
@@ -195,12 +213,14 @@ def main():
     # the direction EXTRA_METRICS declares, independent of events/s gating
     # (tiny-event sections like fig14's smoke cells still gate on these).
     for name, base in baseline.items():
+        if name in missing_sections:
+            continue  # the whole section already failed above
         for key, direction in EXTRA_METRICS.items():
             base_v = metric(base, key)
             if base_v is None:
                 continue
             label = f"{name}.{key}"
-            fresh_v = metric(fresh[name], key) if name in fresh else None
+            fresh_v = metric(fresh[name], key)
             if fresh_v is None:
                 failures.append(label)
                 rows.append((label, base_v, None, f"MISSING {key} in fresh report"))

@@ -16,14 +16,18 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
+#include "sls/process_group.hpp"
+#include "sls/report_writer.hpp"
 #include "sls/sharded_runner.hpp"
 #include "sls/synthesis.hpp"
 #include "sls/system.hpp"
+#include "sls/traffic.hpp"
 #include "util/table.hpp"
 #include "workloads/workloads.hpp"
 
@@ -47,6 +51,18 @@ struct Options {
   u64 telemetry_period = 20'000;
   unsigned sweep_seeds = 1;    // replicas (seed, seed+1, ...); 1 = single run
   unsigned shards = 1;         // host workers for the sweep
+  // Serving mode (--serve N enables it; everything below is ignored
+  // otherwise). The serving run replaces the engine run entirely: requests
+  // arrive open-loop and are served as fault-path episodes over each
+  // worker's arena.
+  u64 serve = 0;               // requests to play; 0 = closed-loop run
+  unsigned serve_workers = 4;  // worker processes in the pool
+  Cycles serve_gap = 2000;     // mean inter-arrival gap in cycles
+  u64 serve_queue = 16;        // bounded admission-queue capacity
+  std::string arrival = "poisson";  // poisson | fixed
+  std::string serve_mix;       // episode mix; empty = TrafficConfig default
+  std::string serve_sweep;     // comma list of gaps, fastest last
+  Cycles p99_bound = 60'000;   // rate-sweep latency bound
 
   static void usage() {
     std::cout <<
@@ -70,7 +86,20 @@ struct Options {
         "                    telemetry sampling period in cycles (default 20000)\n"
         "  --sweep-seeds K   run K replicas with seeds S..S+K-1 and merge stats\n"
         "  --shards N        host workers for --sweep-seeds (default 1; results\n"
-        "                    are bit-identical for any N)\n";
+        "                    are bit-identical for any N)\n"
+        "serving mode (open-arrival traffic against a worker pool):\n"
+        "  --serve N         play N requests through a ProcessGroup pool and\n"
+        "                    report tail latency instead of makespan\n"
+        "  --serve-workers K worker processes (default 4)\n"
+        "  --serve-gap G     mean inter-arrival gap in cycles (default 2000)\n"
+        "  --serve-queue C   admission-queue capacity (default 16)\n"
+        "  --arrival D       arrival process: poisson | fixed (default poisson)\n"
+        "  --serve-mix M     comma list of episode patterns (saxpy, matmul,\n"
+        "                    hash_join, pointer_chase, ...)\n"
+        "  --serve-sweep G1,G2,...\n"
+        "                    walk the gaps (descending = rate ascending) until\n"
+        "                    p99 exceeds --p99-bound; print the max-QPS point\n"
+        "  --p99-bound B     latency bound for --serve-sweep (default 60000)\n";
   }
 };
 
@@ -97,6 +126,14 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--telemetry-period") opt.telemetry_period = std::stoull(value());
     else if (arg == "--sweep-seeds") opt.sweep_seeds = static_cast<unsigned>(std::stoul(value()));
     else if (arg == "--shards") opt.shards = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--serve") opt.serve = std::stoull(value());
+    else if (arg == "--serve-workers") opt.serve_workers = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--serve-gap") opt.serve_gap = std::stoull(value());
+    else if (arg == "--serve-queue") opt.serve_queue = std::stoull(value());
+    else if (arg == "--arrival") opt.arrival = value();
+    else if (arg == "--serve-mix") opt.serve_mix = value();
+    else if (arg == "--serve-sweep") opt.serve_sweep = value();
+    else if (arg == "--p99-bound") opt.p99_bound = std::stoull(value());
     else if (arg == "--help" || arg == "-h") { Options::usage(); return false; }
     else throw std::invalid_argument("unknown option " + arg);
   }
@@ -181,10 +218,96 @@ int run_sweep(const Options& opt) {
   return all_ok ? 0 : 1;
 }
 
+/// One serving run on a fresh simulator: ProcessGroup pool + TrafficDriver,
+/// reporting the request ledger and tail latency.
+sls::TrafficDriver::Report run_serve_point(const Options& opt, Cycles mean_gap,
+                                           bool dump) {
+  sls::PlatformSpec plat = make_run_platform(opt);
+  plat.pager.budget_mode = paging::BudgetMode::kPerProcess;
+  plat.pager.policy = paging::PolicyKind::kClock;
+  plat.pager.swap.shared = true;
+  // NVMe-class backing store (fig15's profile): the default flash-class
+  // timing (4000-cycle access, 4 B/cycle) puts episode service near half a
+  // megacycle, which no open-loop arrival rate worth sweeping can sustain.
+  plat.pager.swap.read_latency = 60;
+  plat.pager.swap.write_latency = 120;
+  plat.pager.swap.bytes_per_cycle = 64;
+  plat.traffic.requests = opt.serve;
+  plat.traffic.queue_capacity = opt.serve_queue;
+  plat.traffic.arrival.mean_gap = mean_gap;
+  plat.traffic.arrival.seed = opt.seed;
+  plat.traffic.arrival.kind = opt.arrival == "fixed"
+                                  ? sim::ArrivalConfig::Kind::kDeterministic
+                                  : sim::ArrivalConfig::Kind::kPoisson;
+  if (opt.arrival != "fixed" && opt.arrival != "poisson")
+    throw std::invalid_argument("--arrival must be poisson or fixed");
+  if (!opt.serve_mix.empty()) plat.traffic.mix = opt.serve_mix;
+
+  paging::FramePoolConfig pool_cfg;
+  pool_cfg.mode = paging::BudgetMode::kPerProcess;
+  pool_cfg.policy = plat.pager.policy;
+
+  sim::Simulator sim;
+  sls::ProcessGroup group(sim, plat, pool_cfg);
+  for (unsigned i = 0; i < opt.serve_workers; ++i) {
+    workloads::WorkloadParams p;
+    p.n = 64;
+    p.seed = opt.seed + i;
+    const auto wl = workloads::make_vecadd(p);
+    sls::PlatformSpec proc_plat = plat;
+    // The pressure knob: each worker holds well under half its arena, so
+    // steady-state episodes page against the shared swap device.
+    proc_plat.pager.frame_budget = std::max<u64>(4, plat.traffic.arena_pages * 5 / 12);
+    sls::SynthesisFlow flow(proc_plat);
+    const auto app = workloads::single_thread_app(wl, sls::ThreadKind::kHardware);
+    group.add_process(flow.synthesize(app), "p" + std::to_string(i));
+  }
+
+  sls::TrafficDriver driver(group, plat.traffic);
+  const auto rep = driver.run();
+  if (dump) {
+    sls::write_serving_summary(std::cout, sim.stats());
+    sls::write_swap_summary(std::cout, sim.stats());
+    if (opt.dump_stats)
+      for (const auto& [name, v] : sim.stats().snapshot())
+        std::cout << "  " << name << " = " << v << "\n";
+  }
+  return rep;
+}
+
+int run_serve(const Options& opt) {
+  if (opt.serve_sweep.empty()) {
+    const auto rep = run_serve_point(opt, opt.serve_gap, true);
+    std::cout << "serve: " << rep.completed << "/" << rep.arrivals << " completed ("
+              << rep.rejected << " rejected), span " << rep.span << " cycles, "
+              << rep.qps_mcycle() << " req/Mcycle, p50/p95/p99 " << rep.latency_p(0.50)
+              << "/" << rep.latency_p(0.95) << "/" << rep.latency_p(0.99) << " cycles\n";
+    return 0;
+  }
+  std::vector<Cycles> gaps;
+  std::string item;
+  std::istringstream list(opt.serve_sweep);
+  while (std::getline(list, item, ',')) gaps.push_back(std::stoull(item));
+  Table table({"gap", "qps/Mcyc", "p99", "rej", "verdict"});
+  const auto sweep = sls::sweep_rates(gaps, opt.p99_bound, [&](Cycles gap) {
+    return run_serve_point(opt, gap, false);
+  });
+  for (const auto& pt : sweep.points)
+    table.add_row({Table::num(pt.mean_gap), Table::num(pt.qps_mcycle, 2), Table::num(pt.p99),
+                   Table::num(pt.rejected), pt.violated ? "VIOLATED" : "ok"});
+  table.print(std::cout, "rate sweep (p99 bound " + std::to_string(opt.p99_bound) + " cycles)");
+  std::cout << "max QPS at p99 < " << opt.p99_bound << ": " << sweep.max_qps_mcycle
+            << " req/Mcycle (gap " << sweep.max_qps_gap << "c, p99 " << sweep.max_qps_p99
+            << "c)" << (sweep.saturated ? "" : " — never saturated; extend the sweep")
+            << "\n";
+  return 0;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   try {
     if (!parse(argc, argv, opt)) return 0;
+    if (opt.serve > 0) return run_serve(opt);
     if (opt.sweep_seeds > 1) return run_sweep(opt);
 
     const auto wl = make_run_workload(opt, opt.seed);
